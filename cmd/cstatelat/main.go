@@ -1,0 +1,40 @@
+// Command cstatelat measures c-state wake-up latencies (Figures 5/6):
+// waker/wakee pairs in the local, remote-active and remote-idle
+// (package c-state) scenarios across the p-state range, on Haswell-EP
+// with the Sandy Bridge-EP baseline for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/exp"
+)
+
+func main() {
+	state := flag.String("state", "c6", "idle state to measure: c1, c3 or c6")
+	scale := flag.Float64("scale", 1.0, "effort scale")
+	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
+	flag.Parse()
+
+	var st cstate.State
+	switch *state {
+	case "c1":
+		st = cstate.C1
+	case "c3":
+		st = cstate.C3
+	case "c6":
+		st = cstate.C6
+	default:
+		fmt.Fprintf(os.Stderr, "unknown state %q (want c1, c3 or c6)\n", *state)
+		os.Exit(2)
+	}
+	r, err := exp.CStateLatencies(st, exp.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(r.Render())
+}

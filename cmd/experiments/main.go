@@ -1,0 +1,229 @@
+// Command experiments regenerates every table and figure of the paper
+// against the simulated platform.
+//
+// Usage:
+//
+//	experiments -run all            # everything (full fidelity, slow)
+//	experiments -run tab4 -scale 0.1
+//	experiments -run fig2,fig3 -csv
+//	experiments -run ablations
+//
+// Experiment ids: tab1 tab2 tab3 tab4 tab5 fig1 fig2 fig3 fig4 fig5
+// fig6 fig7 fig8 extensions ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/exp"
+	"hswsim/internal/uarch"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig2..fig8, extensions, catalog, ablations, all)")
+	scale := flag.Float64("scale", 1.0, "effort scale: 1.0 = paper-fidelity durations/sample counts")
+	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV where the result is tabular")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Seed: *seed}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	emit := func(id string, fn func() error) {
+		if !all && !want[id] {
+			return
+		}
+		ran++
+		fmt.Printf("==== %s ====\n", id)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	emit("tab1", func() error {
+		t := exp.Table1()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		return nil
+	})
+	emit("tab2", func() error {
+		t, _, err := exp.Table2(o)
+		if err != nil {
+			return err
+		}
+		printTable(t, *csv)
+		return nil
+	})
+	emit("tab3", func() error {
+		_, t, err := exp.Table3(o)
+		if err != nil {
+			return err
+		}
+		printTable(t, *csv)
+		return nil
+	})
+	emit("tab4", func() error {
+		_, t, err := exp.Table4(o)
+		if err != nil {
+			return err
+		}
+		printTable(t, *csv)
+		return nil
+	})
+	emit("tab5", func() error {
+		_, t, err := exp.Table5(o)
+		if err != nil {
+			return err
+		}
+		printTable(t, *csv)
+		return nil
+	})
+	emit("fig1", func() error {
+		fmt.Print(exp.Fig1Render())
+		return nil
+	})
+	emit("fig2", func() error {
+		for _, gen := range []uarch.Generation{uarch.SandyBridgeEP, uarch.HaswellEP} {
+			r, err := exp.Fig2(gen, o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+		}
+		return nil
+	})
+	emit("fig3", func() error {
+		r, err := exp.Fig3(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("fig4", func() error {
+		r, err := exp.Fig4(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("fig5", func() error {
+		r, err := exp.CStateLatencies(cstate.C3, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("fig6", func() error {
+		r, err := exp.CStateLatencies(cstate.C6, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("fig7", func() error {
+		r, err := exp.Fig7(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("fig8", func() error {
+		r, err := exp.Fig8(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		return nil
+	})
+	emit("extensions", func() error {
+		_, t1, err := exp.PowerCapStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t1, *csv)
+		fmt.Println()
+		_, t2, err := exp.IdleTableStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t2, *csv)
+		fmt.Println()
+		_, t3, err := exp.DVFSDynamicStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t3, *csv)
+		fmt.Println()
+		_, t4, err := exp.NUMAStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t4, *csv)
+		fmt.Println()
+		_, t5, err := exp.PCPSStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t5, *csv)
+		return nil
+	})
+	emit("catalog", func() error {
+		_, t, err := exp.KernelCatalogStudy(o)
+		if err != nil {
+			return err
+		}
+		printTable(t, *csv)
+		return nil
+	})
+	emit("ablations", func() error {
+		type abl func(exp.Options) (*exp.AblationResult, error)
+		for _, fn := range []abl{
+			exp.AblationPstateGrid, exp.AblationUFS, exp.AblationRAPLMode,
+			exp.AblationEET, exp.AblationBudget,
+		} {
+			r, err := fn(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			fmt.Println()
+		}
+		return nil
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment id(s) %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable(t interface {
+	String() string
+	CSV() string
+}, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,123 @@
+// Command firestarter runs the processor stress workloads of
+// Sections V-B and VIII on the simulated node: FIRESTARTER (default),
+// LINPACK or mprime, with control over the frequency setting,
+// Hyper-Threading and the energy performance bias — and regenerates
+// Tables IV and V with -table4 / -table5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hswsim/internal/core"
+	"hswsim/internal/exp"
+	"hswsim/internal/pcu"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+func main() {
+	table4 := flag.Bool("table4", false, "regenerate Table IV (FIRESTARTER frequency sweep, HT on)")
+	table5 := flag.Bool("table5", false, "regenerate Table V (stress workload comparison, HT off)")
+	kernel := flag.String("workload", "firestarter", "workload: firestarter, linpack or mprime")
+	freq := flag.Int("freq", 0, "core frequency setting in MHz (0 = turbo)")
+	ht := flag.Bool("ht", true, "enable Hyper-Threading")
+	epb := flag.String("epb", "balanced", "energy performance bias: performance, balanced or powersave")
+	seconds := flag.Float64("seconds", 10, "virtual seconds to run")
+	scale := flag.Float64("scale", 1.0, "effort scale for -table4/-table5")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Seed: 0x5eed}
+	if *table4 {
+		_, t, err := exp.Table4(o)
+		exitOn(err)
+		fmt.Print(t.String())
+		return
+	}
+	if *table5 {
+		_, t, err := exp.Table5(o)
+		exitOn(err)
+		fmt.Print(t.String())
+		return
+	}
+
+	var k workload.Kernel
+	switch *kernel {
+	case "firestarter":
+		k = workload.Firestarter()
+	case "linpack":
+		k = workload.Linpack()
+	case "mprime":
+		k = workload.Mprime()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kernel)
+		os.Exit(2)
+	}
+	var bias pcu.EPB
+	switch *epb {
+	case "performance":
+		bias = pcu.EPBPerformance
+	case "balanced":
+		bias = pcu.EPBBalanced
+	case "powersave":
+		bias = pcu.EPBPowerSave
+	default:
+		fmt.Fprintf(os.Stderr, "unknown epb %q\n", *epb)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.HyperThreading = *ht
+	sys, err := core.NewSystem(cfg)
+	exitOn(err)
+	sys.SetEPB(bias)
+	threads := 1
+	if *ht {
+		threads = 2
+	}
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		exitOn(sys.AssignKernel(cpu, k, threads))
+	}
+	set := sys.Spec().TurboSettingMHz()
+	if *freq > 0 {
+		set = uarch.MHz(*freq)
+	}
+	sys.SetPStateAll(set)
+
+	settle := 2 * sim.Second
+	run := sim.Time(*seconds * float64(sim.Second))
+	sys.Run(settle)
+	fmt.Printf("%s on %s\n", k.Name(), sys.Spec().Model)
+	fmt.Printf("setting %v, EPB %v, HT %v, %v of measurement\n\n", set, bias, *ht, run)
+
+	start := sys.Now()
+	var ivs [2]perfctr.Interval
+	ua0 := sys.Socket(0).UncoreSnapshot()
+	ua1 := sys.Socket(1).UncoreSnapshot()
+	a0 := sys.Core(0).Snapshot()
+	a1 := sys.Core(sys.Spec().Cores).Snapshot()
+	sys.Run(run)
+	b0 := sys.Core(0).Snapshot()
+	b1 := sys.Core(sys.Spec().Cores).Snapshot()
+	ub0 := sys.Socket(0).UncoreSnapshot()
+	ub1 := sys.Socket(1).UncoreSnapshot()
+	ivs[0] = perfctr.Delta(a0, b0)
+	ivs[1] = perfctr.Delta(a1, b1)
+
+	for s := 0; s < 2; s++ {
+		unc := perfctr.UncoreFreqGHz([2]perfctr.UncoreSnapshot{ua0, ua1}[s], [2]perfctr.UncoreSnapshot{ub0, ub1}[s])
+		fmt.Printf("processor %d: core %.2f GHz, uncore %.2f GHz, %.2f GIPS/thread, pkg %.1f W\n",
+			s, ivs[s].FreqGHz(), unc, ivs[s].GIPS()/float64(threads), sys.Socket(s).LastPkgPowerW())
+	}
+	fmt.Printf("node AC (meter average): %.1f W\n", sys.Meter().Average(start, sys.Now()))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command lsplatform prints the static platform description: the SKU
+// summary, the die/ring topology of Figure 1, the frequency ladders,
+// and the firmware ACPI tables with their measured-reality annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hswsim/internal/acpi"
+	"hswsim/internal/report"
+	"hswsim/internal/ring"
+	"hswsim/internal/uarch"
+)
+
+func main() {
+	model := flag.String("sku", "e5-2680v3", "SKU: e5-2630v3, e5-2680v3, e5-2699v3, e5-2670snb, x5670wsm")
+	specFile := flag.String("spec", "", "load a custom processor spec (JSON) instead of -sku")
+	dump := flag.String("dump", "", "write the selected spec as JSON to this path and exit")
+	flag.Parse()
+
+	var spec *uarch.Spec
+	switch *model {
+	case "e5-2630v3":
+		spec = uarch.E52630v3()
+	case "e5-2680v3":
+		spec = uarch.E52680v3()
+	case "e5-2699v3":
+		spec = uarch.E52699v3()
+	case "e5-2670snb":
+		spec = uarch.E52670SNB()
+	case "x5670wsm":
+		spec = uarch.X5670WSM()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown SKU %q\n", *model)
+		os.Exit(2)
+	}
+	if *specFile != "" {
+		loaded, err := uarch.LoadSpec(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec = loaded
+	}
+	if *dump != "" {
+		if err := uarch.SaveSpec(*dump, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+		return
+	}
+
+	fmt.Printf("%s (%v)\n", spec.Model, spec.Generation)
+	info := report.NewTable("", "Property", "Value")
+	info.AddRow("Cores / threads", report.F("%d / %d", spec.Cores, spec.Cores*spec.ThreadsPerCore))
+	info.AddRow("P-states", report.F("%v - %v (step %d MHz)", spec.MinMHz, spec.BaseMHz, spec.PStateStep))
+	info.AddRow("Max turbo", spec.MaxTurboMHz().String())
+	if spec.AVXBaseMHz != 0 {
+		info.AddRow("AVX base / all-core AVX turbo",
+			report.F("%v / %v", spec.AVXBaseMHz, spec.TurboLimit(spec.Cores, true)))
+	}
+	info.AddRow("Uncore", report.F("%v - %v, %v", spec.UncoreMinMHz, spec.UncoreMaxMHz, spec.UncorePolicy))
+	info.AddRow("TDP", report.F("%.0f W", spec.Power.TDP))
+	info.AddRow("L3", report.F("%.1f MiB", float64(spec.L3Bytes())/(1<<20)))
+	info.AddRow("Memory", spec.TableI.SupportedMemory)
+	info.AddRow("RAPL", spec.RAPLMode.String())
+	fmt.Print(info.String())
+
+	if topo, err := ring.ForDie(spec.DiesCores); err == nil {
+		fmt.Printf("\nDie topology (%d-core die):\n", topo.DieCores)
+		for _, p := range topo.Partitions {
+			cores := make([]string, len(p.CoreIDs))
+			for i, c := range p.CoreIDs {
+				cores[i] = fmt.Sprintf("%d", c)
+			}
+			imc := ""
+			if p.IMC {
+				imc = fmt.Sprintf(" + IMC (%d DDR channels)", p.Channels)
+			}
+			fmt.Printf("  ring %d: cores [%s]%s\n", p.Index, strings.Join(cores, " "), imc)
+		}
+		if len(topo.Partitions) > 1 {
+			fmt.Printf("  partitions joined by buffered queues (%.0f uncore cycles)\n",
+				topo.QueueLatencyUncoreCycles)
+		}
+	}
+
+	fmt.Println()
+	fmt.Print(acpi.Render(spec))
+}

@@ -1,0 +1,57 @@
+// Command membench runs the L3/DRAM read bandwidth benchmarks behind
+// Figures 7 and 8: 17 MB (L3) and 350 MB (DRAM) consecutive reads with
+// hardware prefetchers enabled, swept over frequency, concurrency and
+// processor generation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hswsim/internal/exp"
+)
+
+func main() {
+	fig7 := flag.Bool("fig7", false, "cross-generation frequency scaling at max concurrency (Figure 7)")
+	fig8 := flag.Bool("fig8", false, "concurrency x frequency surface on Haswell-EP (Figure 8)")
+	scale := flag.Float64("scale", 1.0, "effort scale")
+	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
+	csv := flag.Bool("csv", false, "emit raw points as CSV instead of rendered figures")
+	flag.Parse()
+
+	if !*fig7 && !*fig8 {
+		*fig7, *fig8 = true, true
+	}
+	o := exp.Options{Scale: *scale, Seed: *seed}
+	if *fig7 {
+		r, err := exp.Fig7(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println("arch,level,freq_ghz,relative,abs_gbs")
+			for _, p := range r.Points {
+				fmt.Printf("%s,%s,%.3f,%.4f,%.2f\n", p.Arch, p.Level, p.FreqGHz, p.Relative, p.AbsGBs)
+			}
+		} else {
+			fmt.Print(r.Render())
+		}
+	}
+	if *fig8 {
+		r, err := exp.Fig8(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println("level,cores,threads,freq_ghz,gbs")
+			for _, p := range r.Points {
+				fmt.Printf("%s,%d,%d,%.3f,%.2f\n", p.Level, p.Cores, p.Threads, p.FreqGHz, p.GBs)
+			}
+		} else {
+			fmt.Print(r.Render())
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command raplval validates the RAPL energy interface against the
+// simulated LMG450 AC reference meter (Figure 2): microbenchmarks in
+// varied threading configurations, 4-second power averages, and a
+// linear (Sandy Bridge-EP, modeled RAPL) or quadratic (Haswell-EP,
+// measured RAPL) fit with R-squared and per-workload bias.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hswsim/internal/core"
+	"hswsim/internal/exp"
+	"hswsim/internal/msr"
+	"hswsim/internal/rapl"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+func main() {
+	arch := flag.String("arch", "hsw", "platform: hsw (Haswell-EP) or snb (Sandy Bridge-EP)")
+	scale := flag.Float64("scale", 1.0, "effort scale (1.0 = 4 s averages)")
+	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
+	csv := flag.Bool("csv", false, "emit the raw points as CSV")
+	wrongUnit := flag.Bool("wrongunit", false, "demonstrate the DRAM mode-0 unit confusion (Section IV)")
+	flag.Parse()
+
+	if *wrongUnit {
+		demoWrongUnit()
+		return
+	}
+
+	var gen uarch.Generation
+	switch *arch {
+	case "hsw":
+		gen = uarch.HaswellEP
+	case "snb":
+		gen = uarch.SandyBridgeEP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arch %q (want hsw or snb)\n", *arch)
+		os.Exit(2)
+	}
+	r, err := exp.Fig2(gen, exp.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("workload,cores,ac_w,rapl_w")
+		for _, p := range r.Points {
+			fmt.Printf("%s,%d,%.2f,%.2f\n", p.Workload, p.Cores, p.ACW, p.RAPLW)
+		}
+		return
+	}
+	fmt.Print(r.Render())
+}
+
+// demoWrongUnit shows what happens when a tool computes DRAM power with
+// the MSR_RAPL_POWER_UNIT energy unit instead of the fixed 15.3 uJ one:
+// "unreasonably high values for DRAM power consumption" (Section IV).
+func demoWrongUnit() {
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for cpu := 0; cpu < 12; cpu++ {
+		if err := sys.AssignKernel(cpu, workload.MemStream(), 2); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	sys.SetPStateAll(2500)
+	sys.Run(500 * sim.Millisecond)
+	a, err := sys.ReadRAPL(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys.Run(sim.Second)
+	b, err := sys.ReadRAPL(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	unitReg, err := sys.MSR().Read(0, msr.MSR_RAPL_POWER_UNIT)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	right := rapl.PowerFromCounter(a.DRAM, b.DRAM, msr.DRAMEnergyUnitJoulesHaswellEP, sim.Second)
+	wrong := rapl.PowerFromCounter(a.DRAM, b.DRAM, msr.EnergyUnitJoules(unitReg), sim.Second)
+	fmt.Println("DRAM RAPL under a 12-core DRAM stream:")
+	fmt.Printf("  correct 15.3 uJ unit (mode 1): %6.1f W\n", right)
+	fmt.Printf("  package unit from MSR 0x606:   %6.1f W  <- unreasonably high (Section IV)\n", wrong)
+}

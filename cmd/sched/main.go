@@ -1,0 +1,102 @@
+// Command sched runs task batches through the scheduler layer under an
+// energy policy — the race-to-idle versus pace comparison from the
+// command line.
+//
+//	sched -tasks 16 -ginst 1.5 -every 20ms -policy race
+//	sched -tasks 16 -ginst 1.5 -every 20ms -policy pace -pace-mhz 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hswsim/internal/core"
+	"hswsim/internal/sched"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+func main() {
+	nTasks := flag.Int("tasks", 16, "number of tasks")
+	ginst := flag.Float64("ginst", 1.5, "instructions per task (G)")
+	every := flag.Duration("every", 20*time.Millisecond, "task arrival period (virtual)")
+	policy := flag.String("policy", "race", "policy: race or pace")
+	paceMHz := flag.Int("pace-mhz", 1500, "p-state for the pace policy")
+	cores := flag.Int("cores", 4, "CPUs to schedule over")
+	kernel := flag.String("workload", "compute", "task kernel: compute, dgemm, memstream, cg, fft")
+	horizon := flag.Float64("seconds", 5, "virtual seconds to run")
+	flag.Parse()
+
+	kernels := map[string]func() workload.Kernel{
+		"compute":   workload.Compute,
+		"dgemm":     workload.DGEMM,
+		"memstream": workload.MemStream,
+		"cg":        workload.CG,
+		"fft":       workload.FFT,
+	}
+	mk, ok := kernels[*kernel]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kernel)
+		os.Exit(2)
+	}
+	var pol sched.Policy
+	switch *policy {
+	case "race":
+		pol = sched.RaceToIdle()
+	case "pace":
+		pol = sched.Pace(uarch.MHz(*paceMHz))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cpus := make([]int, *cores)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	s := sched.New(sys, cpus, pol)
+	for i := 0; i < *nTasks; i++ {
+		s.Submit(&sched.Task{
+			ID: i, Arrival: sim.Time(i) * sim.FromDuration(*every),
+			Kernel: mk(), Threads: 2, Instructions: *ginst * 1e9,
+		})
+	}
+	a, err := sys.ReadRAPL(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dur := sim.Time(*horizon * float64(sim.Second))
+	sys.Run(dur)
+	b, err := sys.ReadRAPL(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if s.Outstanding() != 0 {
+		fmt.Fprintf(os.Stderr, "%d tasks unfinished after %v — raise -seconds\n", s.Outstanding(), dur)
+		os.Exit(1)
+	}
+	res := s.Results()
+	pkgW, dramW := sys.RAPLPowerW(a, b)
+	var waitSum, svcSum sim.Time
+	for _, r := range res {
+		waitSum += r.WaitTime()
+		svcSum += r.ServiceTime()
+	}
+	n := sim.Time(len(res))
+	fmt.Printf("%s: %d x %.1f Ginst %q tasks on %d cpus\n", pol.Name, *nTasks, *ginst, *kernel, *cores)
+	fmt.Printf("  makespan %v, mean wait %v, mean service %v\n",
+		res[len(res)-1].Finish, waitSum/n, svcSum/n)
+	fmt.Printf("  socket energy %.1f J (%.1f W avg over %v)\n",
+		(pkgW+dramW)*dur.Seconds(), pkgW+dramW, dur)
+	fmt.Printf("  core 0 residency: %s\n", sys.CoreResidency(0))
+}

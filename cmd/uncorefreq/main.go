@@ -1,0 +1,69 @@
+// Command uncorefreq measures the transparent uncore frequency map of
+// Table III: a while(1) thread on processor 0, a core-frequency sweep,
+// and UNCORE_CLOCK:UBOXFIX readings on both sockets — optionally with
+// the energy performance bias set to performance to expose the
+// asterisked 3.0 GHz rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hswsim/internal/core"
+	"hswsim/internal/exp"
+	"hswsim/internal/pcu"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "effort scale (1.0 = 10 s per setting)")
+	epbPerf := flag.Bool("epb-performance", false, "set EPB to performance (asterisked Table III rows)")
+	flag.Parse()
+
+	if !*epbPerf {
+		_, t, err := exp.Table3(exp.Options{Scale: *scale, Seed: 0x5eed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		return
+	}
+
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys.SetEPB(pcu.EPBPerformance)
+	if err := sys.AssignKernel(0, workload.BusyWait(), 1); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	measure := sim.Time(*scale * float64(10*sim.Second))
+	if measure < 50*sim.Millisecond {
+		measure = 50 * sim.Millisecond
+	}
+	spec := sys.Spec()
+	fmt.Println("EPB = performance (note the pinned 3.0 GHz uncore at base/turbo settings):")
+	fmt.Printf("%-8s %-8s %-8s\n", "setting", "active", "passive")
+	for _, set := range []uarch.MHz{spec.TurboSettingMHz(), 2500, 2300, 2000, 1200} {
+		sys.SetPStateAll(set)
+		sys.Run(5 * sim.Millisecond)
+		a0 := sys.Socket(0).UncoreSnapshot()
+		a1 := sys.Socket(1).UncoreSnapshot()
+		sys.Run(measure)
+		b0 := sys.Socket(0).UncoreSnapshot()
+		b1 := sys.Socket(1).UncoreSnapshot()
+		label := fmt.Sprintf("%.1f", set.GHz())
+		if set > spec.BaseMHz {
+			label = "Turbo"
+		}
+		fmt.Printf("%-8s %-8.2f %-8.2f\n", label,
+			perfctr.UncoreFreqGHz(a0, b0), perfctr.UncoreFreqGHz(a1, b1))
+	}
+}

@@ -1,0 +1,57 @@
+// AVX throttle: watch the AVX frequency machinery of Section II-F. A
+// scalar workload turboes to the non-AVX ladder; switching to FMA-heavy
+// code drops the cores to the (lower) AVX ladder; and after the last
+// 256-bit operation the PCU waits 1 ms before returning to non-AVX
+// operation.
+package main
+
+import (
+	"fmt"
+
+	"hswsim"
+)
+
+func main() {
+	sys, err := hswsim.New(hswsim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	spec := sys.Spec()
+	fmt.Printf("non-AVX all-core turbo: %v, AVX all-core turbo: %v, AVX base: %v\n\n",
+		spec.TurboLimit(spec.Cores, false), spec.TurboLimit(spec.Cores, true), spec.AVXBaseMHz)
+
+	// Scalar phase: all cores on integer compute, turbo requested.
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		if err := sys.AssignKernel(cpu, hswsim.Compute(), 2); err != nil {
+			panic(err)
+		}
+	}
+	sys.RequestTurbo()
+	sys.Run(hswsim.Seconds(1))
+	iv := sys.MeasureCore(0, hswsim.Seconds(1))
+	fmt.Printf("scalar compute: %.2f GHz (non-AVX ladder)\n", iv.FreqGHz())
+
+	// AVX phase: dense FMA. The cores request more current, the PCU
+	// drops them to the AVX ladder (TDP allowing).
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		if err := sys.AssignKernel(cpu, hswsim.DGEMM(), 2); err != nil {
+			panic(err)
+		}
+	}
+	sys.Run(hswsim.Seconds(1))
+	iv = sys.MeasureCore(0, hswsim.Seconds(1))
+	fmt.Printf("dense FMA (dgemm): %.2f GHz (AVX ladder / TDP)\n", iv.FreqGHz())
+
+	// Back to scalar: the PCU holds AVX mode for 1 ms after the last
+	// 256-bit op, then releases the non-AVX ladder.
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		if err := sys.AssignKernel(cpu, hswsim.Compute(), 2); err != nil {
+			panic(err)
+		}
+	}
+	during := sys.MeasureCore(0, hswsim.Seconds(0.0008)) // 0.8 ms: still AVX mode
+	sys.Run(hswsim.Seconds(0.01))
+	after := sys.MeasureCore(0, hswsim.Seconds(0.5))
+	fmt.Printf("0.8 ms after last AVX op: %.2f GHz (still AVX mode)\n", during.FreqGHz())
+	fmt.Printf("after the 1 ms relax:     %.2f GHz (non-AVX ladder restored)\n", after.FreqGHz())
+}

@@ -1,0 +1,55 @@
+// NUMA placement: the dual-socket platform's QPI interconnect makes
+// memory placement a first-order performance knob. This example streams
+// from DRAM with 0 %, 50 % and 100 % remote placement and shows the
+// bandwidth collapse and stall growth of cross-socket traffic.
+package main
+
+import (
+	"fmt"
+
+	"hswsim"
+)
+
+func main() {
+	for _, cores := range []int{2, 12} {
+		fmt.Printf("DRAM streaming on %d cores (socket 0), 2.5 GHz, by memory placement:\n", cores)
+		fmt.Printf("%-24s %12s %12s %12s\n", "placement", "GB/s", "pkg W", "GB/s per W")
+		for _, remote := range []float64{0, 0.5, 1.0} {
+			sys, err := hswsim.New(hswsim.DefaultConfig())
+			if err != nil {
+				panic(err)
+			}
+			k := hswsim.NUMAStream(remote)
+			for cpu := 0; cpu < cores; cpu++ {
+				if err := sys.AssignKernel(cpu, k, 2); err != nil {
+					panic(err)
+				}
+			}
+			sys.SetPStateAll(2500)
+			sys.Run(hswsim.Seconds(0.2))
+			a, err := sys.ReadRAPL(0)
+			if err != nil {
+				panic(err)
+			}
+			before := make([]uint64, cores)
+			for cpu := 0; cpu < cores; cpu++ {
+				before[cpu] = sys.Core(cpu).Snapshot().Instructions
+			}
+			sys.Run(hswsim.Seconds(1))
+			gbs := 0.0
+			for cpu := 0; cpu < cores; cpu++ {
+				gbs += float64(sys.Core(cpu).Snapshot().Instructions-before[cpu]) * 8 / 1e9
+			}
+			b, err := sys.ReadRAPL(0)
+			if err != nil {
+				panic(err)
+			}
+			p, d := sys.RAPLPowerW(a, b)
+			fmt.Printf("%-24s %12.1f %12.1f %12.3f\n", hswsim.KernelName(k), gbs, p+d, gbs/(p+d))
+		}
+		fmt.Println()
+	}
+	fmt.Println("at low concurrency the ~60 ns QPI latency costs bandwidth directly;")
+	fmt.Println("at saturation interleaved placement hides it, but all-remote traffic")
+	fmt.Println("caps at the QPI link (~30 GB/s)")
+}

@@ -1,0 +1,3 @@
+module hswsim
+
+go 1.24

@@ -1,0 +1,51 @@
+package hswsim
+
+import (
+	"hswsim/internal/governor"
+	"hswsim/internal/sim"
+)
+
+// Governor decides per-CPU p-states from observed execution; see the
+// provided implementations below.
+type Governor = governor.Governor
+
+// GovernorRunner periodically samples cores and applies a governor.
+type GovernorRunner = governor.Runner
+
+// The classic cpufreq-style governors plus the paper-motivated
+// memory-aware policy (drop the clock when memory-stalled — free on
+// Haswell-EP because DRAM bandwidth no longer tracks the core clock).
+func PerformanceGovernor() Governor  { return governor.Performance{} }
+func PowersaveGovernor() Governor    { return governor.Powersave{} }
+func OnDemandGovernor() Governor     { return governor.OnDemand{} }
+func ConservativeGovernor() Governor { return governor.Conservative{} }
+func MemoryAwareGovernor() Governor  { return governor.MemoryAware{} }
+
+// AttachGovernor starts a governor over the given CPUs with the given
+// sampling period. Stop it via the returned runner.
+func AttachGovernor(sys *System, g Governor, cpus []int, period Time) *GovernorRunner {
+	r := governor.NewRunner(sys, g, cpus, sim.Time(period))
+	r.Start()
+	return r
+}
+
+// DCTResult is the outcome of a dynamic-concurrency-throttling search.
+type DCTResult = governor.DCTResult
+
+// DCTOptimize searches concurrency x frequency for the most
+// energy-efficient configuration of a kernel meeting a bandwidth floor.
+func DCTOptimize(mkSys func() (*System, error), k Kernel, minGBs float64, measure Time) (*DCTResult, error) {
+	return governor.DCTOptimize(mkSys, k, minGBs, sim.Time(measure))
+}
+
+// EDPOptimizer is an online energy-delay-product hill climber driven by
+// RAPL feedback — the kind of controller the paper's measured-RAPL
+// accuracy makes trustworthy.
+type EDPOptimizer = governor.EDPRunner
+
+// AttachEDPOptimizer starts the optimizer over one socket.
+func AttachEDPOptimizer(sys *System, socket int, period Time) *EDPOptimizer {
+	r := governor.NewEDPRunner(sys, socket, sim.Time(period))
+	r.Start()
+	return r
+}

@@ -1,0 +1,99 @@
+// Package hswsim is a deterministic full-platform simulator of the
+// Intel Haswell-EP energy-efficiency architecture, reproducing the
+// systems and experiments of Hackenberg et al., "An Energy Efficiency
+// Feature Survey of the Intel Haswell Processor" (IPDPSW 2015).
+//
+// The simulated platform is the paper's test node — two Xeon E5-2680 v3
+// packages with per-core integrated voltage regulators, a power control
+// unit with a ~500 us frequency-transition grid, per-core p-states,
+// energy-efficient turbo, uncore frequency scaling, AVX frequencies,
+// RAPL-based TDP enforcement, measured-mode RAPL, core and package
+// c-states, partitioned-ring dies, and an LMG450-class AC reference
+// meter behind a nonlinear PSU. Sandy Bridge-EP and Westmere-EP
+// comparison platforms are included for the paper's cross-generation
+// results.
+//
+// Quick start:
+//
+//	sys, _ := hswsim.New(hswsim.DefaultConfig())
+//	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+//		sys.AssignKernel(cpu, hswsim.Firestarter(), 2)
+//	}
+//	sys.RequestTurbo()
+//	sys.Run(hswsim.Seconds(2))
+//	iv := sys.MeasureCore(0, hswsim.Seconds(1))
+//	fmt.Printf("%.2f GHz, %.2f GIPS\n", iv.FreqGHz(), iv.GIPS())
+//
+// Everything runs in virtual time: results are exactly reproducible
+// for a given configuration and seed.
+package hswsim
+
+import (
+	"time"
+
+	"hswsim/internal/core"
+	"hswsim/internal/cstate"
+	"hswsim/internal/pcu"
+	"hswsim/internal/power"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// System is the simulated platform. See the internal/core package for
+// the full method surface; the most useful entry points are
+// AssignKernel, SetPState/RequestTurbo, Run, MeasureCore,
+// MeasureUncoreGHz, ReadRAPL, Meter, SleepCore and WakeCore.
+type System = core.System
+
+// Config selects the platform and its BIOS-level feature switches.
+type Config = core.Config
+
+// New builds a platform.
+func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// DefaultConfig is the paper's dual-socket E5-2680 v3 node (Table II).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SandyBridgeConfig is the Sandy Bridge-EP comparison node.
+func SandyBridgeConfig() Config { return core.SandyBridgeConfig() }
+
+// WestmereConfig is the Westmere-EP comparison node.
+func WestmereConfig() Config { return core.WestmereConfig() }
+
+// Time is a virtual-time instant/duration in nanoseconds.
+type Time = sim.Time
+
+// Seconds converts seconds to virtual time.
+func Seconds(s float64) Time { return Time(s * 1e9) }
+
+// Duration converts a time.Duration to virtual time.
+func Duration(d time.Duration) Time { return sim.FromDuration(d) }
+
+// MHz is a frequency in megahertz.
+type MHz = uarch.MHz
+
+// Energy performance bias settings (Section II-C).
+const (
+	EPBPerformance = pcu.EPBPerformance
+	EPBBalanced    = pcu.EPBBalanced
+	EPBPowerSave   = pcu.EPBPowerSave
+)
+
+// Core idle states and package states (Section VI-B).
+const (
+	C0 = cstate.C0
+	C1 = cstate.C1
+	C3 = cstate.C3
+	C6 = cstate.C6
+)
+
+// Specs of the modeled processors: the paper's 12-core part, the other
+// two Haswell-EP die layouts, and the comparison generations.
+func E52680v3Spec() *uarch.Spec  { return uarch.E52680v3() }
+func E52630v3Spec() *uarch.Spec  { return uarch.E52630v3() }
+func E52699v3Spec() *uarch.Spec  { return uarch.E52699v3() }
+func E52670SNBSpec() *uarch.Spec { return uarch.E52670SNB() }
+func X5670WSMSpec() *uarch.Spec  { return uarch.X5670WSM() }
+
+// HaswellNodeConfig returns the paper's node-level AC power model.
+func HaswellNodeConfig() power.NodeConfig { return power.HaswellNode() }

@@ -1,0 +1,180 @@
+// Package acpi models the firmware's ACPI view of the processor: the
+// _PSS performance-state table and the _CST idle-state table that the
+// operating system consumes. The paper shows both to be wrong on
+// Haswell-EP — the tables advertise 10 us p-state transitions (measured:
+// 21-524 us) and 33/133 us C3/C6 exits (measured: ~7-26 us) — and this
+// package exposes exactly that discrepancy: it produces the tables the
+// firmware would publish, plus comparisons against the modeled
+// measurements.
+package acpi
+
+import (
+	"fmt"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/report"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// PSS is one _PSS performance-state entry.
+type PSS struct {
+	CoreFreqMHz uarch.MHz
+	PowerMW     int // firmware's full-load package power estimate
+	// TransitionLatencyUS is the advertised worst-case switch time —
+	// the flat 10 us the paper calls "inapplicable".
+	TransitionLatencyUS int
+	BusMasterLatencyUS  int
+	ControlValue        uint64 // value to write to PERF_CTL
+	StatusValue         uint64
+}
+
+// PSSTable builds the firmware performance-state table for a part: the
+// turbo pseudo-state first (as on real hardware), then each selectable
+// p-state descending.
+func PSSTable(spec *uarch.Spec) []PSS {
+	var out []PSS
+	add := func(f uarch.MHz) {
+		ratio := uint64(f / 100)
+		out = append(out, PSS{
+			CoreFreqMHz:         f,
+			PowerMW:             int(estimateFullLoadW(spec, f) * 1000),
+			TransitionLatencyUS: 10, // the ACPI estimate, not reality
+			BusMasterLatencyUS:  10,
+			ControlValue:        ratio << 8,
+			StatusValue:         ratio << 8,
+		})
+	}
+	add(spec.TurboSettingMHz())
+	ps := spec.PStates()
+	for i := len(ps) - 1; i >= 0; i-- {
+		add(ps[i])
+	}
+	return out
+}
+
+// estimateFullLoadW is the firmware's crude full-load power model: TDP
+// at the top state, scaled by V^2*f below it.
+func estimateFullLoadW(spec *uarch.Spec, f uarch.MHz) float64 {
+	pm := spec.Power
+	v := func(m uarch.MHz) float64 {
+		x := pm.VMin + pm.VSlopePerGHz*(m.GHz()-spec.MinMHz.GHz())
+		if x > pm.VMax {
+			return pm.VMax
+		}
+		return x
+	}
+	top := spec.TurboSettingMHz()
+	scale := (v(f) * v(f) * f.GHz()) / (v(top) * v(top) * top.GHz())
+	return pm.TDP * scale
+}
+
+// CST is one _CST idle-state entry.
+type CST struct {
+	State     cstate.State
+	ACPIType  int // 1..3 ACPI C-state type
+	LatencyUS int
+	PowerMW   int
+}
+
+// CSTTable builds the firmware idle-state table with its published
+// (pessimistic) exit latencies.
+func CSTTable(spec *uarch.Spec) []CST {
+	mk := func(s cstate.State, typ, powerMW int) CST {
+		return CST{
+			State:     s,
+			ACPIType:  typ,
+			LatencyUS: int(cstate.ACPITableLatency(s) / sim.Microsecond),
+			PowerMW:   powerMW,
+		}
+	}
+	perCoreIdleMW := int(spec.Power.LeakPerCore * 1000)
+	return []CST{
+		mk(cstate.C1, 1, perCoreIdleMW),
+		mk(cstate.C3, 2, perCoreIdleMW/3),
+		mk(cstate.C6, 3, 0),
+	}
+}
+
+// Discrepancy is one table-vs-measurement comparison row.
+type Discrepancy struct {
+	Label      string
+	TableUS    float64
+	MeasuredUS float64 // worst case over the p-state range
+}
+
+// Ratio returns table/measured — how pessimistic the firmware is.
+func (d Discrepancy) Ratio() float64 {
+	if d.MeasuredUS == 0 {
+		return 0
+	}
+	return d.TableUS / d.MeasuredUS
+}
+
+// CompareCST quantifies the idle-table discrepancy for a generation.
+func CompareCST(gen uarch.Generation) []Discrepancy {
+	m := cstate.LatencyModel{Gen: gen}
+	worst := func(s cstate.State) float64 {
+		w := 0.0
+		for f := uarch.MHz(1200); f <= 2500; f += 100 {
+			if l := m.ExitLatency(s, cstate.Local, f).Micros(); l > w {
+				w = l
+			}
+		}
+		return w
+	}
+	var out []Discrepancy
+	for _, s := range []cstate.State{cstate.C3, cstate.C6} {
+		out = append(out, Discrepancy{
+			Label:      s.String(),
+			TableUS:    cstate.ACPITableLatency(s).Micros(),
+			MeasuredUS: worst(s),
+		})
+	}
+	return out
+}
+
+// ComparePStateLatency quantifies the _PSS transition-latency claim
+// against the Haswell-EP grid reality (Section VI-A).
+func ComparePStateLatency(spec *uarch.Spec) Discrepancy {
+	// Average measured latency: half the grid period plus switching.
+	measured := spec.PStateGridPeriodUS/2 + spec.PStateSwitchUS
+	return Discrepancy{
+		Label:      "p-state transition",
+		TableUS:    10,
+		MeasuredUS: measured,
+	}
+}
+
+// Render prints the firmware tables and their discrepancies.
+func Render(spec *uarch.Spec) string {
+	pss := report.NewTable("ACPI _PSS (performance states)",
+		"State", "Frequency", "Power [W]", "Advertised latency")
+	for i, p := range PSSTable(spec) {
+		label := fmt.Sprintf("P%d", i)
+		freq := p.CoreFreqMHz.String()
+		if i == 0 {
+			freq += " (turbo)"
+		}
+		pss.AddRow(label, freq, report.F("%.1f", float64(p.PowerMW)/1000),
+			report.F("%d us", p.TransitionLatencyUS))
+	}
+	cst := report.NewTable("ACPI _CST (idle states)",
+		"State", "ACPI type", "Advertised latency", "Measured worst (local)")
+	disc := CompareCST(spec.Generation)
+	for i, c := range CSTTable(spec) {
+		measured := "-"
+		for _, d := range disc {
+			if d.Label == c.State.String() {
+				measured = fmt.Sprintf("%.1f us (%.0fx pessimistic)", d.MeasuredUS, d.Ratio())
+			}
+		}
+		_ = i
+		cst.AddRow(c.State.String(), report.F("%d", c.ACPIType),
+			report.F("%d us", c.LatencyUS), measured)
+	}
+	ps := ComparePStateLatency(spec)
+	return pss.String() + "\n" + cst.String() +
+		fmt.Sprintf("\n_PSS transition latency: advertised %d us, measured mean ~%.0f us (%.1fx optimistic)\n",
+			10, ps.MeasuredUS, ps.MeasuredUS/ps.TableUS)
+}

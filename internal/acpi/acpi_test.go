@@ -1,0 +1,100 @@
+package acpi
+
+import (
+	"strings"
+	"testing"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/uarch"
+)
+
+func TestPSSTableStructure(t *testing.T) {
+	spec := uarch.E52680v3()
+	pss := PSSTable(spec)
+	// Turbo entry + 14 selectable p-states.
+	if len(pss) != 15 {
+		t.Fatalf("entries = %d, want 15", len(pss))
+	}
+	if pss[0].CoreFreqMHz != spec.TurboSettingMHz() {
+		t.Errorf("first entry = %v, want the turbo pseudo-state", pss[0].CoreFreqMHz)
+	}
+	// Descending frequency, descending power estimate.
+	for i := 1; i < len(pss); i++ {
+		if pss[i].CoreFreqMHz >= pss[i-1].CoreFreqMHz {
+			t.Fatalf("not descending at %d", i)
+		}
+		if pss[i].PowerMW > pss[i-1].PowerMW {
+			t.Fatalf("power estimate not descending at %d", i)
+		}
+	}
+	// The ACPI claim the paper disproves: a flat 10 us everywhere.
+	for _, p := range pss {
+		if p.TransitionLatencyUS != 10 {
+			t.Fatalf("latency = %d, want the (inapplicable) 10 us", p.TransitionLatencyUS)
+		}
+	}
+	// Control values match the PERF_CTL encoding.
+	if pss[1].ControlValue != uint64(spec.BaseMHz/100)<<8 {
+		t.Errorf("control value = %#x", pss[1].ControlValue)
+	}
+}
+
+func TestCSTTable(t *testing.T) {
+	cst := CSTTable(uarch.E52680v3())
+	if len(cst) != 3 {
+		t.Fatalf("entries = %d, want 3", len(cst))
+	}
+	if cst[1].State != cstate.C3 || cst[1].LatencyUS != 33 {
+		t.Errorf("C3 entry = %+v, want 33 us", cst[1])
+	}
+	if cst[2].State != cstate.C6 || cst[2].LatencyUS != 133 {
+		t.Errorf("C6 entry = %+v, want 133 us", cst[2])
+	}
+	if cst[2].PowerMW != 0 {
+		t.Errorf("C6 idle power = %d, want 0 (power gated)", cst[2].PowerMW)
+	}
+	if cst[0].ACPIType != 1 || cst[2].ACPIType != 3 {
+		t.Errorf("ACPI types wrong: %+v", cst)
+	}
+}
+
+func TestCompareCSTShowsPessimism(t *testing.T) {
+	// The paper's finding: measured C3/C6 exits are far below the
+	// tables on Haswell-EP.
+	for _, d := range CompareCST(uarch.HaswellEP) {
+		if d.MeasuredUS >= d.TableUS {
+			t.Errorf("%s: measured %.1f not below table %.1f", d.Label, d.MeasuredUS, d.TableUS)
+		}
+		if d.Ratio() < 2 {
+			t.Errorf("%s: pessimism ratio %.1f, want substantial", d.Label, d.Ratio())
+		}
+	}
+}
+
+func TestComparePStateLatencyShowsOptimism(t *testing.T) {
+	d := ComparePStateLatency(uarch.E52680v3())
+	// 10 us advertised vs ~270 us mean measured: wildly optimistic.
+	if d.MeasuredUS < 20*d.TableUS {
+		t.Errorf("measured %.0f us should dwarf the 10 us table value", d.MeasuredUS)
+	}
+	// Pre-Haswell parts: the table is roughly right.
+	snb := ComparePStateLatency(uarch.E52670SNB())
+	if snb.MeasuredUS > 15 {
+		t.Errorf("SNB measured %.0f us should be near the table", snb.MeasuredUS)
+	}
+}
+
+func TestRatioDegenerate(t *testing.T) {
+	if (Discrepancy{TableUS: 5}).Ratio() != 0 {
+		t.Error("zero measured should give ratio 0")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(uarch.E52680v3())
+	for _, want := range []string{"_PSS", "_CST", "turbo", "pessimistic", "optimistic", "133 us"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

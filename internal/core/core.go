@@ -1,0 +1,204 @@
+package core
+
+import (
+	"hswsim/internal/cstate"
+	"hswsim/internal/fivr"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/pstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/trace"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+// Core is one physical core (addressed as one logical CPU; hardware
+// threads are a property of the kernel placement).
+type Core struct {
+	sk    *Socket
+	Index int
+	CPU   int
+
+	reg *fivr.Regulator
+	dom *pstate.Domain
+	ctr perfctr.Core
+
+	cstateNow cstate.State
+	kernel    workload.Kernel
+	kernStart sim.Time
+	threads   int
+
+	epbBits uint64
+
+	// avxMode mirrors the PCU's AVX operating mode for this core.
+	avxMode bool
+	// avxSlowUntil: while the FIVR ramps for the first 256-bit ops, the
+	// core executes AVX instructions at reduced throughput
+	// (Section II-F's transition workflow).
+	avxSlowUntil sim.Time
+
+	lastStall float64
+	lastRate  float64
+
+	lastRequestAt sim.Time
+
+	// resid accumulates p-state/c-state residency (cpufreq-stats view).
+	resid residency
+
+	// Profile memo: profileNow is called several times per segment with
+	// the same timestamp (telemetry + integration).
+	profCacheAt  sim.Time
+	profCacheOK  bool
+	profCacheVal workload.Profile
+}
+
+func newCore(sk *Socket, index int, voltOffset float64) *Core {
+	spec := sk.Spec
+	c := &Core{
+		sk:        sk,
+		Index:     index,
+		CPU:       sk.Index*spec.Cores + index,
+		reg:       fivr.NewRegulator(&spec.Power, voltOffset, spec.PStateSwitchUS, sk.rng.Fork(uint64(index)+0xC0)),
+		dom:       pstate.NewDomain(spec),
+		cstateNow: sk.sys.cfg.IdleState,
+		threads:   1,
+		epbBits:   uint64(6), // balanced
+	}
+	if c.cstateNow == cstate.C0 {
+		c.cstateNow = cstate.C6
+	}
+	return c
+}
+
+// assign places a kernel on the core (nil = idle) at time now.
+func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
+	c.kernel = k
+	c.kernStart = now
+	c.threads = threads
+	c.profCacheOK = false
+	if k == nil {
+		c.cstateNow = c.sk.sys.cfg.IdleState
+		c.sk.sys.trace.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v (idle)", c.cstateNow)
+		return
+	}
+	if c.cstateNow != cstate.C0 {
+		c.sk.sys.trace.Emitf(now, trace.CStateExit, c.sk.Index, c.CPU,
+			"%v -> C0 running %q", c.cstateNow, k.Name())
+	}
+	c.cstateNow = cstate.C0
+	if k.ProfileAt(0).AVXFrac > 0 && !c.avxMode {
+		// First 256-bit ops: reduced throughput until the PCU grants the
+		// AVX voltage at a following grid tick.
+		c.avxSlowUntil = now + 500*sim.Microsecond
+	}
+}
+
+// profileNow returns the kernel profile at time t.
+func (c *Core) profileNow(t sim.Time) workload.Profile {
+	if c.kernel == nil {
+		return workload.Profile{}
+	}
+	if c.profCacheOK && c.profCacheAt == t {
+		return c.profCacheVal
+	}
+	rel := t - c.kernStart
+	if rel < 0 {
+		rel = 0
+	}
+	p := c.kernel.ProfileAt(rel)
+	c.profCacheAt, c.profCacheVal, c.profCacheOK = t, p, true
+	return p
+}
+
+// slowdown returns the current execution multiplier (AVX voltage ramp).
+func (c *Core) slowdown() float64 {
+	if c.sk.sys.Engine.Now() < c.avxSlowUntil {
+		return 0.75
+	}
+	return 1
+}
+
+// requestPState records a software p-state request. On parts without an
+// opportunity grid the transition starts immediately.
+func (c *Core) requestPState(now sim.Time, f uarch.MHz) {
+	c.dom.Request(f)
+	c.lastRequestAt = now
+	c.sk.sys.trace.Emitf(now, trace.PStateRequest, c.sk.Index, c.CPU, "-> %v", c.dom.Requested())
+	if c.sk.PCU.GridPeriod() <= 0 {
+		// Pre-Haswell: immediate, bounded only by the switching time.
+		c.applyGrantTagged(now, c.clampGrantImmediate(), now)
+	}
+}
+
+// clampGrantImmediate resolves an immediate-mode grant (no PCU
+// arbitration beyond the ladder).
+func (c *Core) clampGrantImmediate() uarch.MHz {
+	req := c.dom.Requested()
+	spec := c.sk.Spec
+	if req > spec.BaseMHz {
+		active := 0
+		for _, cc := range c.sk.cores {
+			if cc.cstateNow == cstate.C0 && cc.kernel != nil {
+				active++
+			}
+		}
+		if c.sk.sys.cfg.TurboEnabled {
+			return spec.TurboLimit(active, false)
+		}
+		return spec.BaseMHz
+	}
+	return req
+}
+
+// applyGrant starts a PCU-granted transition at a grid tick.
+func (c *Core) applyGrant(now sim.Time, target uarch.MHz) {
+	requestedAt := now
+	if c.lastRequestAt > 0 && c.lastRequestAt <= now {
+		requestedAt = c.lastRequestAt
+	}
+	c.applyGrantTagged(now, target, requestedAt)
+}
+
+func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.Time) {
+	if target == c.dom.Granted() {
+		if _, inflight := c.dom.InFlight(); !inflight {
+			return
+		}
+	}
+	if _, inflight := c.dom.InFlight(); inflight {
+		// A new grant supersedes the in-flight one; the regulator simply
+		// continues to the new point.
+		return
+	}
+	switchTime := c.reg.SetFrequency(target)
+	if c.dom.Begin(requestedAt, now, target, switchTime) {
+		c.lastRequestAt = 0
+		c.sk.sys.trace.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
+			"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
+		completion := now + switchTime
+		c.sk.sys.Engine.At(completion, func(t sim.Time) {
+			c.sk.sys.integrateTo(t)
+			if c.dom.Complete(t) {
+				c.sk.sys.trace.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
+					"now %v", c.dom.Granted())
+			}
+		})
+	}
+}
+
+// FreqMHz returns the core's current running frequency.
+func (c *Core) FreqMHz() uarch.MHz { return c.dom.Granted() }
+
+// CState returns the core's current idle state.
+func (c *Core) CState() cstate.State { return c.cstateNow }
+
+// Domain exposes the p-state domain (transition log for tools).
+func (c *Core) Domain() *pstate.Domain { return c.dom }
+
+// Snapshot captures the core's performance counters.
+func (c *Core) Snapshot() perfctr.Snapshot {
+	c.sk.sys.integrateTo(c.sk.sys.Engine.Now())
+	return c.ctr.Snapshot(c.sk.sys.Engine.Now())
+}
+
+// Volts returns the core's present regulator voltage.
+func (c *Core) Volts() float64 { return c.reg.Volts() }

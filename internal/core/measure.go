@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"hswsim/internal/msr"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/rapl"
+	"hswsim/internal/sim"
+)
+
+// MeasureCore runs the platform for dur and returns the counter interval
+// observed on cpu — the LIKWID-style sampling primitive.
+func (s *System) MeasureCore(cpu int, dur sim.Time) perfctr.Interval {
+	c := s.coreOf(cpu)
+	if c == nil {
+		return perfctr.Interval{}
+	}
+	a := c.Snapshot()
+	s.Run(dur)
+	b := c.Snapshot()
+	return perfctr.Delta(a, b)
+}
+
+// MeasureUncoreGHz runs the platform for dur and returns the average
+// uncore frequency of a socket (the UNCORE_CLOCK:UBOXFIX measurement).
+func (s *System) MeasureUncoreGHz(socket int, dur sim.Time) float64 {
+	if socket < 0 || socket >= len(s.sockets) {
+		return 0
+	}
+	a := s.sockets[socket].UncoreSnapshot()
+	s.Run(dur)
+	b := s.sockets[socket].UncoreSnapshot()
+	return perfctr.UncoreFreqGHz(a, b)
+}
+
+// RAPLReading is a package+DRAM counter snapshot.
+type RAPLReading struct {
+	At   sim.Time
+	Pkg  uint64
+	DRAM uint64
+}
+
+// ReadRAPL snapshots a socket's RAPL counters through the MSR interface
+// (as a tool would).
+func (s *System) ReadRAPL(socket int) (RAPLReading, error) {
+	if socket < 0 || socket >= len(s.sockets) {
+		return RAPLReading{}, fmt.Errorf("core: no socket %d", socket)
+	}
+	cpu := socket * s.cfg.Spec.Cores
+	pkg, err := s.msrDev.Read(cpu, msr.MSR_PKG_ENERGY_STATUS)
+	if err != nil {
+		return RAPLReading{}, err
+	}
+	r := RAPLReading{At: s.Engine.Now(), Pkg: pkg}
+	if s.cfg.Spec.RAPLDRAMSupported {
+		dram, err := s.msrDev.Read(cpu, msr.MSR_DRAM_ENERGY_STATUS)
+		if err != nil {
+			return RAPLReading{}, err
+		}
+		r.DRAM = dram
+	}
+	return r, nil
+}
+
+// RAPLPowerW derives package and DRAM power between two readings using
+// the correct energy units (package unit from MSR_RAPL_POWER_UNIT, the
+// fixed 15.3 uJ DRAM unit — "DRAM mode 1").
+func (s *System) RAPLPowerW(a, b RAPLReading) (pkgW, dramW float64) {
+	dt := b.At - a.At
+	unitReg, err := s.msrDev.Read(0, msr.MSR_RAPL_POWER_UNIT)
+	if err != nil {
+		return 0, 0
+	}
+	pkgW = rapl.PowerFromCounter(a.Pkg, b.Pkg, msr.EnergyUnitJoules(unitReg), dt)
+	dramW = rapl.PowerFromCounter(a.DRAM, b.DRAM, msr.DRAMEnergyUnitJoulesHaswellEP, dt)
+	return pkgW, dramW
+}
+
+// RAPLTotalPowerW measures the summed package+DRAM power of all sockets
+// over dur (advances time).
+func (s *System) RAPLTotalPowerW(dur sim.Time) float64 {
+	before := make([]RAPLReading, len(s.sockets))
+	for i := range s.sockets {
+		r, err := s.ReadRAPL(i)
+		if err != nil {
+			return 0
+		}
+		before[i] = r
+	}
+	s.Run(dur)
+	total := 0.0
+	for i := range s.sockets {
+		after, err := s.ReadRAPL(i)
+		if err != nil {
+			return 0
+		}
+		p, d := s.RAPLPowerW(before[i], after)
+		total += p + d
+	}
+	return total
+}

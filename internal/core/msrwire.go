@@ -1,0 +1,188 @@
+package core
+
+import (
+	"hswsim/internal/msr"
+	"hswsim/internal/trace"
+	"hswsim/internal/uarch"
+)
+
+// wireMSRs installs the platform's model-specific registers: the
+// software-visible control/observation surface the paper's tools use.
+func (s *System) wireMSRs() {
+	spec := s.cfg.Spec
+	dev := s.msrDev
+	ncpu := s.CPUs()
+
+	// IA32_ENERGY_PERF_BIAS: per-CPU, writable; feeds the PCU.
+	epb := msr.NewPerCPU(msr.IA32_ENERGY_PERF_BIAS, ncpu, false)
+	for i := range epb.Vals {
+		epb.Vals[i] = 6 // balanced
+	}
+	epb.OnWrite = func(cpu int, v uint64) {
+		if c := s.coreOf(cpu); c != nil {
+			c.epbBits = v & 0xF
+		}
+	}
+	dev.Implement(msr.IA32_ENERGY_PERF_BIAS, epb)
+
+	// MSR_RAPL_POWER_UNIT: fixed units (power 1/8 W, energy 2^-14 J,
+	// time 1/1024 s).
+	dev.Implement(msr.MSR_RAPL_POWER_UNIT, &msr.Static{
+		V: msr.PowerUnitValue(3, 14, 10), ReadOnly: true, Reg: msr.MSR_RAPL_POWER_UNIT,
+	})
+
+	// MSR_PLATFORM_INFO: base (non-turbo) ratio in bits 15:8.
+	dev.Implement(msr.MSR_PLATFORM_INFO, &msr.Static{
+		V: uint64(spec.BaseMHz/100) << 8, ReadOnly: true, Reg: msr.MSR_PLATFORM_INFO,
+	})
+
+	// IA32_TIME_STAMP_COUNTER.
+	dev.Implement(msr.IA32_TIME_STAMP_COUNTER, &msr.Func{
+		Reg: msr.IA32_TIME_STAMP_COUNTER,
+		ReadFn: func(cpu int) (uint64, error) {
+			c := s.coreOf(cpu)
+			if c == nil {
+				return 0, &msr.GPFault{Reg: msr.IA32_TIME_STAMP_COUNTER, CPU: cpu}
+			}
+			return c.Snapshot().TSC, nil
+		},
+	})
+	dev.Implement(msr.IA32_APERF, &msr.Func{
+		Reg: msr.IA32_APERF,
+		ReadFn: func(cpu int) (uint64, error) {
+			c := s.coreOf(cpu)
+			if c == nil {
+				return 0, &msr.GPFault{Reg: msr.IA32_APERF, CPU: cpu}
+			}
+			return c.Snapshot().APERF, nil
+		},
+	})
+	dev.Implement(msr.IA32_MPERF, &msr.Func{
+		Reg: msr.IA32_MPERF,
+		ReadFn: func(cpu int) (uint64, error) {
+			c := s.coreOf(cpu)
+			if c == nil {
+				return 0, &msr.GPFault{Reg: msr.IA32_MPERF, CPU: cpu}
+			}
+			return c.Snapshot().MPERF, nil
+		},
+	})
+
+	// IA32_PERF_CTL / IA32_PERF_STATUS: ratio in bits 15:8.
+	perfctl := msr.NewPerCPU(msr.IA32_PERF_CTL, ncpu, false)
+	perfctl.OnWrite = func(cpu int, v uint64) {
+		ratio := (v >> 8) & 0xFF
+		if err := s.SetPState(cpu, uarch.MHz(ratio*100)); err != nil {
+			panic(err) // cpu validated by PerCPU bounds
+		}
+	}
+	dev.Implement(msr.IA32_PERF_CTL, perfctl)
+	dev.Implement(msr.IA32_PERF_STATUS, &msr.Func{
+		Reg: msr.IA32_PERF_STATUS,
+		ReadFn: func(cpu int) (uint64, error) {
+			c := s.coreOf(cpu)
+			if c == nil {
+				return 0, &msr.GPFault{Reg: msr.IA32_PERF_STATUS, CPU: cpu}
+			}
+			s.integrateTo(s.Engine.Now())
+			return uint64(c.FreqMHz()/100) << 8, nil
+		},
+	})
+
+	// RAPL energy status counters.
+	dev.Implement(msr.MSR_PKG_ENERGY_STATUS, &msr.Func{
+		Reg: msr.MSR_PKG_ENERGY_STATUS,
+		ReadFn: func(cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu {
+				return 0, &msr.GPFault{Reg: msr.MSR_PKG_ENERGY_STATUS, CPU: cpu}
+			}
+			s.integrateTo(s.Engine.Now())
+			return s.sockets[s.SocketOf(cpu)].RAPL.Pkg.Counter(), nil
+		},
+	})
+	dev.Implement(msr.MSR_DRAM_ENERGY_STATUS, &msr.Func{
+		Reg: msr.MSR_DRAM_ENERGY_STATUS,
+		ReadFn: func(cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu || !spec.RAPLDRAMSupported {
+				return 0, &msr.GPFault{Reg: msr.MSR_DRAM_ENERGY_STATUS, CPU: cpu}
+			}
+			s.integrateTo(s.Engine.Now())
+			return s.sockets[s.SocketOf(cpu)].RAPL.DRAM.Counter(), nil
+		},
+	})
+	// MSR_PP0_ENERGY_STATUS: present pre-Haswell, #GP on Haswell-EP
+	// (Section IV: "The power domain for core consumption (PP0) is not
+	// supported on Haswell-EP").
+	dev.Implement(msr.MSR_PP0_ENERGY_STATUS, &msr.Func{
+		Reg: msr.MSR_PP0_ENERGY_STATUS,
+		ReadFn: func(cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu || !spec.PP0Supported {
+				return 0, &msr.GPFault{Reg: msr.MSR_PP0_ENERGY_STATUS, CPU: cpu}
+			}
+			s.integrateTo(s.Engine.Now())
+			return s.sockets[s.SocketOf(cpu)].RAPL.PP0.Counter(), nil
+		},
+	})
+
+	// MSR_PKG_POWER_LIMIT: package-scoped, writable; bits 14:0 carry the
+	// limit in 1/8 W units, bit 15 enables it. Writes reprogram the
+	// PCU's enforced limit (the hardware-enforced power bound path).
+	limits := make([]uint64, s.Sockets())
+	for i := range limits {
+		limits[i] = uint64(spec.Power.TDP*8) | 1<<15
+	}
+	dev.Implement(msr.MSR_PKG_POWER_LIMIT, &msr.Func{
+		Reg: msr.MSR_PKG_POWER_LIMIT,
+		ReadFn: func(cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu {
+				return 0, &msr.GPFault{Reg: msr.MSR_PKG_POWER_LIMIT, CPU: cpu}
+			}
+			return limits[s.SocketOf(cpu)], nil
+		},
+		WriteFn: func(cpu int, v uint64) error {
+			if cpu < 0 || cpu >= ncpu {
+				return &msr.GPFault{Reg: msr.MSR_PKG_POWER_LIMIT, CPU: cpu, Write: true}
+			}
+			s.integrateTo(s.Engine.Now())
+			sock := s.SocketOf(cpu)
+			limits[sock] = v
+			s.trace.Emitf(s.Engine.Now(), trace.PowerLimit, sock, -1, "raw %#x", v)
+			if v&(1<<15) != 0 {
+				s.sockets[sock].PCU.SetTDPWatts(float64(v&0x7FFF) / 8)
+			} else {
+				// Limit disabled: fall back to the rated TDP.
+				s.sockets[sock].PCU.SetTDPWatts(spec.Power.TDP)
+			}
+			return nil
+		},
+	})
+
+	// MSR_UNCORE_RATIO_LIMIT (Section II-D): undocumented when the paper
+	// shipped, later documented as max ratio in bits 6:0 and min ratio
+	// in bits 14:8. Writes bound the UFS decisions.
+	uncLimits := make([]uint64, s.Sockets())
+	for i := range uncLimits {
+		uncLimits[i] = uint64(spec.UncoreMaxMHz/100) | uint64(spec.UncoreMinMHz/100)<<8
+	}
+	dev.Implement(msr.MSR_UNCORE_RATIO_LIMIT, &msr.Func{
+		Reg: msr.MSR_UNCORE_RATIO_LIMIT,
+		ReadFn: func(cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu {
+				return 0, &msr.GPFault{Reg: msr.MSR_UNCORE_RATIO_LIMIT, CPU: cpu}
+			}
+			return uncLimits[s.SocketOf(cpu)], nil
+		},
+		WriteFn: func(cpu int, v uint64) error {
+			if cpu < 0 || cpu >= ncpu {
+				return &msr.GPFault{Reg: msr.MSR_UNCORE_RATIO_LIMIT, CPU: cpu, Write: true}
+			}
+			s.integrateTo(s.Engine.Now())
+			sock := s.SocketOf(cpu)
+			uncLimits[sock] = v
+			max := uarch.MHz(v&0x7F) * 100
+			min := uarch.MHz((v>>8)&0x7F) * 100
+			s.sockets[sock].PCU.SetUncoreLimits(min, max)
+			return nil
+		},
+	})
+}

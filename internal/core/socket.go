@@ -1,0 +1,320 @@
+package core
+
+import (
+	"hswsim/internal/cache"
+	"hswsim/internal/cstate"
+	"hswsim/internal/fivr"
+	"hswsim/internal/pcu"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/power"
+	"hswsim/internal/rapl"
+	"hswsim/internal/ring"
+	"hswsim/internal/sim"
+	"hswsim/internal/trace"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+// Socket is one processor package.
+type Socket struct {
+	sys   *System
+	Index int
+
+	Spec  *uarch.Spec
+	Topo  *ring.Topology
+	Cache *cache.Model
+	Power *power.PackageModel
+	RAPL  *rapl.Package
+	PCU   *pcu.PCU
+
+	uncoreReg *fivr.Regulator
+	uncoreMHz uarch.MHz
+	uncoreCtr perfctr.Uncore
+	mbvr      *fivr.MBVR
+
+	cores     []*Core
+	pkgCState cstate.PkgState
+	// prevDeepState/leftDeepAt track a just-exited package sleep state
+	// so wakes arriving within the exit window still classify as
+	// "remote idle" (see System.refreshPackageStates).
+	prevDeepState cstate.PkgState
+	leftDeepAt    sim.Time
+
+	pcuPhase sim.Time
+	rng      *sim.RNG
+	// Energy accumulated since the last PCU tick: the RAPL input to the
+	// TDP controller.
+	tickJoules  float64
+	lastTick    sim.Time
+	lastPkgPowW float64
+	// Cached solver outputs for the current segment.
+	dramGBs float64
+
+	// Scratch buffers for the per-segment integration (hot path).
+	loadsBuf   []cache.CoreLoad
+	coresBuf   []*Core
+	statesBuf  []power.CoreState
+	resultsBuf []cache.CoreResult
+	telCores   []pcu.CoreTelemetry
+}
+
+func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
+	spec := sys.cfg.Spec
+	rng := sys.rng.Fork(uint64(index) + 0x50)
+	sk := &Socket{
+		sys:   sys,
+		Index: index,
+		Spec:  spec,
+		Topo:  topo,
+		rng:   rng,
+	}
+	sk.Cache = cache.NewModel(spec, topo)
+	// Socket silicon lottery: socket 0 is the less efficient part
+	// (Section III: lower sustained turbo on processor 0).
+	ceff := 1.0
+	if index == 0 {
+		ceff = 1.02
+	}
+	sk.Power = power.NewPackageModel(&spec.Power, ceff, sys.cfg.AmbientC)
+	sk.RAPL = rapl.NewPackage(spec, rng.Normal(0, 0.003))
+	// Independent per-package grid phase (Section VI-A: packages
+	// transition independently).
+	sk.pcuPhase = sim.Time(rng.Intn(int(500 * sim.Microsecond)))
+	cfg := pcu.Config{
+		Spec: spec, Socket: index, GridPhase: sk.pcuPhase,
+		TurboEnabled: sys.cfg.TurboEnabled, EETEnabled: sys.cfg.EETEnabled,
+		UFSEnabled: sys.cfg.UFSEnabled, PCPSEnabled: sys.cfg.PCPSEnabled,
+		BudgetTrading: sys.cfg.BudgetTrading, TDPOverrideW: sys.cfg.TDPOverrideW,
+		ThrottleTempC: sys.cfg.ThrottleTempC,
+	}
+	sk.PCU = pcu.New(cfg)
+	sk.uncoreReg = fivr.NewRegulator(&spec.Power, 0, spec.PStateSwitchUS, rng.Fork(0xB0))
+	sk.uncoreMHz = spec.UncoreMinMHz
+	sk.mbvr = fivr.NewMBVR()
+
+	offsets := fivr.CoreOffsets(spec.Cores, index, sys.cfg.Seed)
+	for i := 0; i < spec.Cores; i++ {
+		sk.cores = append(sk.cores, newCore(sk, i, offsets[i]))
+	}
+	return sk
+}
+
+// Cores returns the socket's core count.
+func (sk *Socket) Cores() int { return len(sk.cores) }
+
+// UncoreMHz returns the current uncore clock (0 = halted).
+func (sk *Socket) UncoreMHz() uarch.MHz {
+	if cstate.UncoreHalted(sk.pkgCState) {
+		return 0
+	}
+	return sk.uncoreMHz
+}
+
+// MBVR returns the socket's mainboard voltage regulator model.
+func (sk *Socket) MBVR() *fivr.MBVR { return sk.mbvr }
+
+// PkgCState returns the package c-state.
+func (sk *Socket) PkgCState() cstate.PkgState { return sk.pkgCState }
+
+// UncoreSnapshot captures the UBOXFIX counter.
+func (sk *Socket) UncoreSnapshot() perfctr.UncoreSnapshot {
+	sk.sys.integrateTo(sk.sys.Engine.Now())
+	return sk.uncoreCtr.Snapshot(sk.sys.Engine.Now())
+}
+
+// scheduleNextTick arms the next PCU grid opportunity with the
+// configured jitter ("regular intervals of about 500 us").
+func (sk *Socket) scheduleNextTick(at sim.Time) {
+	if at < sk.sys.Engine.Now() {
+		at = sk.sys.Engine.Now()
+	}
+	sk.sys.Engine.At(at, func(now sim.Time) {
+		sk.pcuTick(now)
+		period := sk.PCU.GridPeriod()
+		if period <= 0 {
+			period = 500 * sim.Microsecond // control loop cadence on pre-Haswell parts
+		}
+		next := sk.rng.Jitter(period, sk.sys.cfg.GridJitter)
+		sk.scheduleNextTick(now + next)
+	})
+}
+
+// pcuTick runs one PCU evaluation and applies the decision.
+func (sk *Socket) pcuTick(now sim.Time) {
+	sk.sys.integrateTo(now)
+
+	// Measured package power over the last grid interval.
+	if dt := now - sk.lastTick; dt > 0 {
+		sk.lastPkgPowW = sk.tickJoules / dt.Seconds()
+	}
+	sk.tickJoules = 0
+	sk.lastTick = now
+
+	// The processor drives the mainboard regulator's power state from
+	// its power estimate (Section II-B).
+	sk.mbvr.UpdateLoad(sk.lastPkgPowW)
+
+	tel := sk.telemetry(now)
+	dec := sk.PCU.Tick(now, tel)
+
+	// Apply core frequency grants.
+	for i, c := range sk.cores {
+		if dec.AVXMode[i] != c.avxMode {
+			kind := trace.AVXExit
+			if dec.AVXMode[i] {
+				kind = trace.AVXEnter
+			}
+			sk.sys.trace.Emitf(now, kind, sk.Index, c.CPU, "")
+		}
+		c.avxMode = dec.AVXMode[i]
+		target := dec.CoreTargetMHz[i]
+		if !sk.sys.cfg.PCPSEnabled {
+			// Single frequency domain: everyone gets the fastest grant.
+			for _, f := range dec.CoreTargetMHz {
+				if f > target {
+					target = f
+				}
+			}
+		}
+		c.applyGrant(now, target)
+	}
+
+	// Apply the uncore grant.
+	if dec.UncoreMHz != sk.uncoreMHz && !cstate.UncoreHalted(sk.pkgCState) {
+		sk.sys.trace.Emitf(now, trace.UncoreChange, sk.Index, -1,
+			"%v -> %v", sk.uncoreMHz, dec.UncoreMHz)
+		sk.uncoreMHz = dec.UncoreMHz
+		sk.uncoreReg.SetFrequency(dec.UncoreMHz)
+	}
+}
+
+// telemetry gathers the PCU inputs.
+func (sk *Socket) telemetry(now sim.Time) pcu.Telemetry {
+	if sk.telCores == nil {
+		sk.telCores = make([]pcu.CoreTelemetry, len(sk.cores))
+	}
+	tel := pcu.Telemetry{
+		Cores:     sk.telCores,
+		PkgPowerW: sk.lastPkgPowW,
+		PkgCState: sk.pkgCState,
+		TempC:     sk.Power.TempC(),
+	}
+	for i, c := range sk.cores {
+		active := c.cstateNow == cstate.C0 && c.kernel != nil
+		var prof workload.Profile
+		if active {
+			prof = c.profileNow(now)
+		}
+		tel.Cores[i] = pcu.CoreTelemetry{
+			Active:     active,
+			RequestMHz: c.dom.Requested(),
+			AVXNow:     active && prof.AVXFrac > 0,
+			StallFrac:  c.lastStall,
+			EPB:        pcu.EPBFromBits(c.epbBits),
+		}
+		if active && prof.MemoryBound() {
+			tel.MemoryStalls = true
+		}
+	}
+	// System-wide interlock input: fastest active core setting anywhere.
+	for _, other := range sk.sys.sockets {
+		for _, c := range other.cores {
+			if c.cstateNow == cstate.C0 && c.kernel != nil && c.dom.Requested() > tel.SystemMaxRequestMHz {
+				tel.SystemMaxRequestMHz = c.dom.Requested()
+			}
+		}
+	}
+	return tel
+}
+
+// integrate advances this socket's continuous state over [from, from+dt)
+// and returns its total RAPL-domain power (package + DRAM) for the node
+// AC computation.
+func (sk *Socket) integrate(from sim.Time, dt sim.Time) float64 {
+	now := from + dt
+	// Solve the memory hierarchy for the active cores.
+	loads := sk.loadsBuf[:0]
+	loadCores := sk.coresBuf[:0]
+	for _, c := range sk.cores {
+		if c.cstateNow == cstate.C0 && c.kernel != nil {
+			loads = append(loads, cache.CoreLoad{
+				CoreID:  c.Index,
+				FreqGHz: c.dom.Granted().GHz(),
+				Threads: c.threads,
+				Prof:    c.profileNow(from),
+			})
+			loadCores = append(loadCores, c)
+		}
+	}
+	sk.loadsBuf, sk.coresBuf = loads, loadCores
+	uncoreGHz := sk.UncoreMHz().GHz()
+	results := sk.Cache.SolveInto(sk.resultsBuf, loads, uncoreGHz)
+	sk.resultsBuf = results
+
+	// Per-core accounting and power states.
+	if cap(sk.statesBuf) < len(sk.cores) {
+		sk.statesBuf = make([]power.CoreState, len(sk.cores))
+	}
+	states := sk.statesBuf[:len(sk.cores)]
+	for i := range states {
+		states[i] = power.CoreState{}
+	}
+	tscGHz := sk.Spec.BaseMHz.GHz()
+	var ev rapl.ModelInputs
+	sk.dramGBs = 0
+	for i, c := range sk.cores {
+		states[i] = power.CoreState{CState: c.cstateNow, Volts: c.reg.Volts()}
+		c.lastStall = 0
+		c.resid.add(sk.Spec, c.dom.Granted(), c.cstateNow, dt)
+	}
+	for j, c := range loadCores {
+		r := results[j]
+		prof := loads[j].Prof
+		rate := r.Rate * c.slowdown()
+		ipcShare := 0.0
+		if prof.IPC2 > 0 {
+			ipcShare = rate / (loads[j].FreqGHz * 1e9) / prof.IPC2
+		}
+		c.lastStall = r.StallFrac
+		c.lastRate = rate
+		c.ctr.Advance(dt, loads[j].FreqGHz, tscGHz, rate, r.StallFrac, true)
+		st := &states[c.Index]
+		st.FreqGHz = loads[j].FreqGHz
+		st.Activity = prof.Activity
+		st.AVXFrac = prof.AVXFrac
+		st.IPCShare = ipcShare
+		ev.ActiveVVF += st.Volts * st.Volts * st.FreqGHz
+		ev.GIPS += rate / 1e9
+		ev.L3GBs += r.L3GBs
+		ev.MemGBs += r.MemGBs
+		sk.dramGBs += r.MemGBs
+	}
+	// Idle cores still advance TSC.
+	for _, c := range sk.cores {
+		if c.cstateNow != cstate.C0 || c.kernel == nil {
+			c.ctr.Advance(dt, 0, tscGHz, 0, 0, false)
+			c.lastRate = 0
+		}
+	}
+
+	uncoreVolts := sk.uncoreReg.Volts()
+	ev.UncoreVVF = uncoreVolts * uncoreVolts * uncoreGHz
+	pkg := sk.Power.Compute(states, uncoreGHz, uncoreVolts)
+	pkgW := pkg.Total()
+	dramW := sk.Cache.IMC.PowerWatts(sk.dramGBs)
+
+	sk.Power.UpdateTemp(pkgW, dt)
+	sk.RAPL.Integrate(pkgW, pkg.CoresDynamic+pkg.Leakage, dramW, ev, dt)
+	sk.uncoreCtr.Advance(dt, uncoreGHz)
+	sk.tickJoules += pkgW * dt.Seconds()
+	_ = now
+	return sk.RAPLDomainsPowerW(pkgW, dramW)
+}
+
+// RAPLDomainsPowerW sums the power of the RAPL-visible domains.
+func (sk *Socket) RAPLDomainsPowerW(pkgW, dramW float64) float64 {
+	return pkgW + dramW
+}
+
+// LastPkgPowerW returns the package power the PCU saw at its last tick.
+func (sk *Socket) LastPkgPowerW() float64 { return sk.lastPkgPowW }

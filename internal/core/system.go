@@ -1,0 +1,355 @@
+// Package core assembles the complete simulated platform: two (or more)
+// processor packages with their cores, FIVRs, PCUs, caches, RAPL units
+// and performance counters, DRAM behind each package's IMCs, and the
+// node-level AC power domain observed by the LMG450 meter — the paper's
+// bullx R421 E4 test system (Section III) in virtual time.
+//
+// The system advances through a deterministic event engine. Between
+// events the platform state is constant, so power and performance are
+// integrated analytically segment by segment: the cache model solves
+// for instruction rates and bandwidths, the power model turns operating
+// points into watts, RAPL and the performance counters accumulate, and
+// the PCU closes the loop at its ~500 us grid.
+package core
+
+import (
+	"fmt"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/msr"
+	"hswsim/internal/pcu"
+	"hswsim/internal/power"
+	"hswsim/internal/ring"
+	"hswsim/internal/sim"
+	"hswsim/internal/trace"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+// Config describes a platform build.
+type Config struct {
+	Spec    *uarch.Spec
+	Sockets int
+	Node    power.NodeConfig
+	Seed    uint64
+	// AmbientC is the inlet air temperature.
+	AmbientC float64
+
+	// Feature switches (BIOS knobs / ablations); defaults per Table II.
+	TurboEnabled  bool
+	EETEnabled    bool
+	UFSEnabled    bool
+	PCPSEnabled   bool
+	BudgetTrading bool
+	TDPOverrideW  float64
+	// ThrottleTempC overrides the PROCHOT trip point (0 = 92 C).
+	ThrottleTempC float64
+	// HyperThreading: threads per core available to workloads.
+	HyperThreading bool
+	// IdleState is the c-state idle cores sink to (default C6).
+	IdleState cstate.State
+	// GridJitter adds per-tick spread to the PCU opportunity period
+	// (the "about 500 us" of Section VI-A). Zero disables jitter.
+	GridJitter sim.Time
+}
+
+// DefaultConfig returns the paper's test-system configuration
+// (Table II): 2x E5-2680 v3, turbo/EET/UFS/PCPS enabled, EPB balanced,
+// fans at maximum.
+func DefaultConfig() Config {
+	return Config{
+		Spec:           uarch.E52680v3(),
+		Sockets:        2,
+		Node:           power.HaswellNode(),
+		Seed:           0x5eed,
+		AmbientC:       30,
+		TurboEnabled:   true,
+		EETEnabled:     true,
+		UFSEnabled:     true,
+		PCPSEnabled:    true,
+		BudgetTrading:  true,
+		HyperThreading: true,
+		IdleState:      cstate.C6,
+		GridJitter:     25 * sim.Microsecond,
+	}
+}
+
+// SandyBridgeConfig returns the Sandy Bridge-EP comparison node.
+func SandyBridgeConfig() Config {
+	c := DefaultConfig()
+	c.Spec = uarch.E52670SNB()
+	c.Node = power.SandyBridgeNode()
+	c.EETEnabled = false
+	c.PCPSEnabled = false
+	c.GridJitter = 0
+	return c
+}
+
+// WestmereConfig returns the Westmere-EP comparison node.
+func WestmereConfig() Config {
+	c := SandyBridgeConfig()
+	c.Spec = uarch.X5670WSM()
+	return c
+}
+
+// System is the running platform.
+type System struct {
+	Engine *sim.Engine
+	cfg    Config
+
+	sockets []*Socket
+	msrDev  *msr.Device
+	meter   *power.LMG450
+	rng     *sim.RNG
+
+	lastIntegrate sim.Time
+	// AC energy accumulated since the last meter sample, for averaging.
+	acJoules    float64
+	lastACPower float64
+
+	epb pcu.EPB
+
+	// trace is nil unless EnableTrace was called (nil is a valid no-op
+	// recorder).
+	trace *trace.Buffer
+}
+
+// EnableTrace starts recording platform events into a bounded ring
+// buffer and returns it.
+func (s *System) EnableTrace(capacity int) *trace.Buffer {
+	s.trace = trace.New(capacity)
+	return s.trace
+}
+
+// Trace returns the trace buffer (nil when tracing is disabled).
+func (s *System) Trace() *trace.Buffer { return s.trace }
+
+// NewSystem builds and starts the platform clockwork (PCU grids and the
+// power meter are armed; no workload runs yet).
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sockets <= 0 {
+		return nil, fmt.Errorf("core: need at least one socket")
+	}
+	if cfg.IdleState == cstate.C0 {
+		cfg.IdleState = cstate.C6
+	}
+	s := &System{
+		Engine: sim.NewEngine(),
+		cfg:    cfg,
+		msrDev: msr.NewDevice(),
+		rng:    sim.NewRNG(cfg.Seed),
+		epb:    pcu.EPBBalanced,
+	}
+	s.meter = power.NewLMG450(s.rng.Fork(0xAC))
+
+	topo, err := topologyFor(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		s.sockets = append(s.sockets, newSocket(s, i, topo))
+	}
+	s.wireMSRs()
+
+	// Arm the PCU grids (jittered, per-socket phase) and the meter.
+	for _, sk := range s.sockets {
+		sk.scheduleNextTick(sk.pcuPhase)
+	}
+	s.Engine.Every(power.SamplePeriod, power.SamplePeriod, func(now sim.Time) {
+		s.integrateTo(now)
+		dt := power.SamplePeriod.Seconds()
+		s.meter.Record(now, s.acJoules/dt)
+		s.acJoules = 0
+	})
+	// Prime the integrator and resolve initial package states (all
+	// cores idle: both packages sink into deep package sleep).
+	s.refreshPackageStates()
+	s.integrateTo(0)
+	return s, nil
+}
+
+// topologyFor picks a die layout for the spec; non-Haswell parts use the
+// single-ring 8-core layout with their own core count active.
+func topologyFor(spec *uarch.Spec) (*ring.Topology, error) {
+	if t, err := ring.ForDie(spec.DiesCores); err == nil {
+		return t, nil
+	}
+	return ring.ForDie(8)
+}
+
+// Config returns the platform configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Spec returns the processor spec.
+func (s *System) Spec() *uarch.Spec { return s.cfg.Spec }
+
+// Sockets returns the socket count.
+func (s *System) Sockets() int { return len(s.sockets) }
+
+// CPUs returns the number of addressable cores (one logical CPU per
+// physical core; thread placement is per-kernel).
+func (s *System) CPUs() int { return len(s.sockets) * s.cfg.Spec.Cores }
+
+// Socket returns socket i.
+func (s *System) Socket(i int) *Socket { return s.sockets[i] }
+
+// SocketOf maps a CPU number to its socket index.
+func (s *System) SocketOf(cpu int) int { return cpu / s.cfg.Spec.Cores }
+
+// coreOf maps a CPU to its Core, or nil.
+func (s *System) coreOf(cpu int) *Core {
+	if cpu < 0 || cpu >= s.CPUs() {
+		return nil
+	}
+	return s.sockets[cpu/s.cfg.Spec.Cores].cores[cpu%s.cfg.Spec.Cores]
+}
+
+// MSR returns the system's MSR device (the rdmsr/wrmsr surface).
+func (s *System) MSR() *msr.Device { return s.msrDev }
+
+// Meter returns the LMG450 reference power meter.
+func (s *System) Meter() *power.LMG450 { return s.meter }
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.Engine.Now() }
+
+// Run advances the platform by d of virtual time.
+func (s *System) Run(d sim.Time) {
+	s.Engine.Run(d)
+	s.integrateTo(s.Engine.Now())
+}
+
+// RunUntil advances the platform to absolute time t.
+func (s *System) RunUntil(t sim.Time) {
+	s.Engine.RunUntil(t)
+	s.integrateTo(t)
+}
+
+// integrateTo advances all continuous state (counters, energy, thermal)
+// from the last integration point to now. It must be called before any
+// state change and before any observation.
+func (s *System) integrateTo(now sim.Time) {
+	dt := now - s.lastIntegrate
+	if dt < 0 {
+		panic("core: integration time went backwards")
+	}
+	if dt == 0 {
+		s.lastIntegrate = now
+		return
+	}
+	totalRAPL := 0.0
+	for _, sk := range s.sockets {
+		totalRAPL += sk.integrate(s.lastIntegrate, dt)
+	}
+	ac := s.cfg.Node.ACWatts(totalRAPL)
+	s.acJoules += ac * dt.Seconds()
+	s.lastACPower = ac
+	s.lastIntegrate = now
+}
+
+// ACPowerW returns the instantaneous true AC power (not the meter view).
+func (s *System) ACPowerW() float64 {
+	s.integrateTo(s.Engine.Now())
+	return s.lastACPower
+}
+
+// SetEPB programs the energy performance bias on every core (the
+// BIOS/tool-level setting of Table II).
+func (s *System) SetEPB(e pcu.EPB) {
+	s.integrateTo(s.Engine.Now())
+	s.epb = e
+	for cpu := 0; cpu < s.CPUs(); cpu++ {
+		if err := s.msrDev.Write(cpu, msr.IA32_ENERGY_PERF_BIAS, uint64(e)); err != nil {
+			panic(err) // wired internally; cannot fault
+		}
+	}
+}
+
+// EPB returns the current bias classification.
+func (s *System) EPB() pcu.EPB { return s.epb.Classify() }
+
+// AssignKernel starts a workload kernel on a CPU with the given thread
+// count (clamped to the SMT width / HT setting). A nil kernel idles the
+// core. The core wakes immediately if it was sleeping (self-wake, e.g.
+// an interrupt) — cross-core wake semantics live in WakeCore.
+func (s *System) AssignKernel(cpu int, k workload.Kernel, threads int) error {
+	c := s.coreOf(cpu)
+	if c == nil {
+		return fmt.Errorf("core: no cpu %d", cpu)
+	}
+	s.integrateTo(s.Engine.Now())
+	maxThreads := 1
+	if s.cfg.HyperThreading {
+		maxThreads = s.cfg.Spec.ThreadsPerCore
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > maxThreads {
+		threads = maxThreads
+	}
+	c.assign(s.Engine.Now(), k, threads)
+	s.refreshPackageStates()
+	return nil
+}
+
+// SetPState requests a p-state for one CPU (the cpufreq path). Values
+// above base select turbo.
+func (s *System) SetPState(cpu int, f uarch.MHz) error {
+	c := s.coreOf(cpu)
+	if c == nil {
+		return fmt.Errorf("core: no cpu %d", cpu)
+	}
+	s.integrateTo(s.Engine.Now())
+	c.requestPState(s.Engine.Now(), f)
+	return nil
+}
+
+// SetPStateAll requests a p-state on every CPU.
+func (s *System) SetPStateAll(f uarch.MHz) {
+	for cpu := 0; cpu < s.CPUs(); cpu++ {
+		if err := s.SetPState(cpu, f); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RequestTurbo requests the turbo setting on every CPU.
+func (s *System) RequestTurbo() { s.SetPStateAll(s.cfg.Spec.TurboSettingMHz()) }
+
+// refreshPackageStates recomputes package c-states after core activity
+// changes (Haswell-EP: any active core anywhere blocks package sleep).
+func (s *System) refreshPackageStates() {
+	anyActive := false
+	for _, sk := range s.sockets {
+		for _, c := range sk.cores {
+			if c.cstateNow == cstate.C0 {
+				anyActive = true
+			}
+		}
+	}
+	now := s.Engine.Now()
+	for _, sk := range s.sockets {
+		states := make([]cstate.State, len(sk.cores))
+		for i, c := range sk.cores {
+			states[i] = c.cstateNow
+		}
+		next := cstate.DeepestPkgState(states, anyActive)
+		if next != sk.pkgCState {
+			s.trace.Emitf(now, trace.PkgCStateChange, sk.Index, -1,
+				"%v -> %v", sk.pkgCState, next)
+		}
+		if cstate.UncoreHalted(sk.pkgCState) && !cstate.UncoreHalted(next) {
+			// The package is being pulled out of deep sleep (e.g. a
+			// core elsewhere became active and snoops it). Remember
+			// the state it is exiting from: a wake arriving within the
+			// exit window still pays the package-exit penalty.
+			sk.prevDeepState = sk.pkgCState
+			sk.leftDeepAt = now
+		}
+		sk.pkgCState = next
+	}
+}

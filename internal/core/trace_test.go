@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/trace"
+	"hswsim/internal/workload"
+)
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	s := newSys(t)
+	buf := s.EnableTrace(8192)
+	if s.Trace() != buf {
+		t.Fatal("Trace() accessor broken")
+	}
+	if err := s.AssignKernel(0, workload.DGEMM(), 2); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPState(0, 2000)
+	s.Run(20 * sim.Millisecond)
+	if err := s.AssignKernel(0, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * sim.Millisecond)
+
+	if len(buf.OfKind(trace.PStateRequest)) == 0 {
+		t.Error("no p-state requests traced")
+	}
+	grants := buf.OfKind(trace.PStateGrant)
+	if len(grants) == 0 {
+		t.Error("no p-state grants traced")
+	}
+	completes := buf.OfKind(trace.PStateComplete)
+	if len(completes) == 0 {
+		t.Error("no completions traced")
+	}
+	// Grants precede their completions.
+	if completes[0].At <= grants[0].At {
+		t.Errorf("completion %v not after grant %v", completes[0].At, grants[0].At)
+	}
+	// DGEMM triggers AVX mode entry; idling afterwards exits it.
+	if len(buf.OfKind(trace.AVXEnter)) == 0 {
+		t.Error("no AVX entry traced for dgemm")
+	}
+	if len(buf.OfKind(trace.CStateEnter)) == 0 {
+		t.Error("no c-state entry traced after idling")
+	}
+	// Uncore retargeting after workload changes.
+	if len(buf.OfKind(trace.UncoreChange)) == 0 {
+		t.Error("no uncore change traced")
+	}
+	// Package state movements (initial PC6 entry at minimum).
+	if len(buf.OfKind(trace.PkgCStateChange)) == 0 {
+		t.Error("no package c-state change traced")
+	}
+	if !strings.Contains(buf.Render(5), "cpu") {
+		t.Error("render missing cpu context")
+	}
+}
+
+func TestTracePowerLimit(t *testing.T) {
+	s := newSys(t)
+	buf := s.EnableTrace(128)
+	if err := s.SetPowerLimitW(1, 90); err != nil {
+		t.Fatal(err)
+	}
+	ev := buf.OfKind(trace.PowerLimit)
+	if len(ev) != 1 || ev[0].Socket != 1 {
+		t.Fatalf("power-limit trace = %v", ev)
+	}
+	if s.Socket(1).PCU.TDPWatts() != 90 {
+		t.Fatalf("limit not applied: %v", s.Socket(1).PCU.TDPWatts())
+	}
+	// Disable: restores rated TDP.
+	if err := s.SetPowerLimitW(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Socket(1).PCU.TDPWatts() != 120 {
+		t.Fatalf("disable did not restore TDP: %v", s.Socket(1).PCU.TDPWatts())
+	}
+	if err := s.SetPowerLimitW(9, 50); err == nil {
+		t.Fatal("bad socket accepted")
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	s := newSys(t)
+	if s.Trace() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	// Everything still works with the nil recorder.
+	if err := s.AssignKernel(0, workload.BusyWait(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * sim.Millisecond)
+	if err := s.SleepCore(1, cstate.C3); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(sim.Millisecond)
+}

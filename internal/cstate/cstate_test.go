@@ -1,0 +1,179 @@
+package cstate
+
+import (
+	"testing"
+
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+var hsw = LatencyModel{Gen: uarch.HaswellEP}
+var snb = LatencyModel{Gen: uarch.SandyBridgeEP}
+
+func us(t sim.Time) float64 { return t.Micros() }
+
+func TestC1LatencyBounds(t *testing.T) {
+	// Paper: C1 exits below 1.6 us local, up to 2.1 us remote at 1.2 GHz.
+	for f := uarch.MHz(1200); f <= 2500; f += 100 {
+		if l := us(hsw.ExitLatency(C1, Local, f)); l >= 1.6 {
+			t.Errorf("local C1 at %v = %.2f us, want < 1.6", f, l)
+		}
+	}
+	r := us(hsw.ExitLatency(C1, RemoteActive, 1200))
+	if r < 1.6 || r > 2.1 {
+		t.Errorf("remote C1 at 1.2 GHz = %.2f us, want in (1.6, 2.1]", r)
+	}
+}
+
+func TestC3MostlyFrequencyIndependentWithStep(t *testing.T) {
+	// "transition times for C3 states are mostly independent of the core
+	// frequencies. However, the latency is 1.5 us higher when
+	// frequencies are greater than 1.5 GHz."
+	low := us(hsw.ExitLatency(C3, Local, 1300))
+	low2 := us(hsw.ExitLatency(C3, Local, 1500))
+	high := us(hsw.ExitLatency(C3, Local, 1600))
+	high2 := us(hsw.ExitLatency(C3, Local, 2500))
+	if low != low2 || high != high2 {
+		t.Errorf("C3 latency should be flat within each band: %v %v / %v %v", low, low2, high, high2)
+	}
+	if d := high - low; d != 1.5 {
+		t.Errorf("C3 step across 1.5 GHz = %v us, want 1.5", d)
+	}
+}
+
+func TestPackageC3Penalty(t *testing.T) {
+	// Package C3 increases latency by another 2-4 us over remote active.
+	for f := uarch.MHz(1200); f <= 2500; f += 100 {
+		d := us(hsw.ExitLatency(C3, RemoteIdle, f)) - us(hsw.ExitLatency(C3, RemoteActive, f))
+		if d < 2 || d > 4 {
+			t.Errorf("package C3 penalty at %v = %.2f us, want in [2,4]", f, d)
+		}
+	}
+}
+
+func TestC6FrequencyDependence(t *testing.T) {
+	// C6 exits depend strongly on frequency: +2..8 us over C3 locally.
+	for f := uarch.MHz(1200); f <= 2500; f += 100 {
+		d := us(hsw.ExitLatency(C6, Local, f)) - us(hsw.ExitLatency(C3, Local, f))
+		if d < 2-1e-9 || d > 8+1e-9 {
+			t.Errorf("C6-C3 delta at %v = %.2f us, want in [2,8]", f, d)
+		}
+	}
+	slow := us(hsw.ExitLatency(C6, Local, 1200))
+	fast := us(hsw.ExitLatency(C6, Local, 2500))
+	if slow <= fast {
+		t.Errorf("C6 exit at 1.2 GHz (%.2f) must exceed 2.5 GHz (%.2f)", slow, fast)
+	}
+	if slow-fast < 4 {
+		t.Errorf("C6 frequency dependence too weak: %.2f vs %.2f", slow, fast)
+	}
+}
+
+func TestPackageC6Penalty(t *testing.T) {
+	// Package C6 increases latency by 8 us compared to package C3.
+	f := uarch.MHz(2000)
+	pkgC3extra := us(hsw.ExitLatency(C3, RemoteIdle, f)) - us(hsw.ExitLatency(C3, RemoteActive, f))
+	pkgC6extra := us(hsw.ExitLatency(C6, RemoteIdle, f)) - us(hsw.ExitLatency(C6, RemoteActive, f))
+	if d := pkgC6extra - pkgC3extra; d < 8-0.01 || d > 8+0.01 {
+		t.Errorf("package C6 over package C3 = %v us, want 8", d)
+	}
+}
+
+func TestMeasuredBelowACPITables(t *testing.T) {
+	// The paper's headline: measured C3/C6 exits are far below the ACPI
+	// table values of 33 and 133 us, in every scenario.
+	for _, s := range []State{C3, C6} {
+		for _, sc := range []Scenario{Local, RemoteActive, RemoteIdle} {
+			for f := uarch.MHz(1200); f <= 2500; f += 100 {
+				got := hsw.ExitLatency(s, sc, f)
+				if got >= ACPITableLatency(s) {
+					t.Errorf("%v %v at %v: %v >= ACPI %v", s, sc, f, got, ACPITableLatency(s))
+				}
+			}
+		}
+	}
+}
+
+func TestCStateFasterThanPStateTransitions(t *testing.T) {
+	// Section VI-B: "the c-state transitions happen faster than p-state
+	// (core frequency) transitions" (~500 us typical on Haswell-EP).
+	worst := hsw.ExitLatency(C6, RemoteIdle, 1200)
+	if worst >= 100*sim.Microsecond {
+		t.Errorf("worst-case C6 exit %v should be well below p-state transition scale", worst)
+	}
+}
+
+func TestHaswellC6ImprovedOverSandyBridge(t *testing.T) {
+	// "transition latencies from deep c-states have slightly improved."
+	for f := uarch.MHz(1200); f <= 2500; f += 100 {
+		h := hsw.ExitLatency(C6, Local, f)
+		s := snb.ExitLatency(C6, Local, f)
+		if h >= s {
+			t.Errorf("HSW C6 at %v = %v, SNB = %v; want improvement", f, h, s)
+		}
+	}
+}
+
+func TestExitLatencyZeroForC0(t *testing.T) {
+	if hsw.ExitLatency(C0, Local, 2000) != 0 {
+		t.Error("C0 exit latency must be zero")
+	}
+	if snb.ExitLatency(C0, RemoteIdle, 2000) != 0 {
+		t.Error("C0 exit latency must be zero (SNB)")
+	}
+}
+
+func TestExitLatencyZeroFrequencyFallsBack(t *testing.T) {
+	if l := hsw.ExitLatency(C6, Local, 0); l != hsw.ExitLatency(C6, Local, 1200) {
+		t.Errorf("zero frequency should fall back to 1.2 GHz: %v", l)
+	}
+}
+
+func TestDeepestPkgState(t *testing.T) {
+	cases := []struct {
+		states []State
+		active bool
+		want   PkgState
+	}{
+		{[]State{C6, C6, C6}, false, PC6},
+		{[]State{C6, C3, C6}, false, PC3},
+		{[]State{C6, C1, C6}, false, PC0},
+		{[]State{C0, C6, C6}, false, PC0},
+		// Any active core anywhere in the system blocks package sleep,
+		// even with all local cores in C6 (Section V-A).
+		{[]State{C6, C6, C6}, true, PC0},
+		{[]State{}, false, PC6},
+	}
+	for i, c := range cases {
+		if got := DeepestPkgState(c.states, c.active); got != c.want {
+			t.Errorf("case %d: DeepestPkgState = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestUncoreHalted(t *testing.T) {
+	if UncoreHalted(PC0) {
+		t.Error("uncore must run in PC0")
+	}
+	if !UncoreHalted(PC3) || !UncoreHalted(PC6) {
+		t.Error("uncore clock halts in deep package sleep (Section V-A)")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []State{C0, C1, C3, C6, State(9)} {
+		if s.String() == "" {
+			t.Fatal("empty State stringer")
+		}
+	}
+	for _, s := range []PkgState{PC0, PC3, PC6, PkgState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty PkgState stringer")
+		}
+	}
+	for _, s := range []Scenario{Local, RemoteActive, RemoteIdle, Scenario(9)} {
+		if s.String() == "" {
+			t.Fatal("empty Scenario stringer")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package exp implements the paper's experiments end to end: each
+// function builds the appropriate simulated platform, runs the paper's
+// measurement procedure (same workloads, sweeps, sample counts and
+// statistics), and returns structured results plus a rendered
+// table/figure. The cmd tools and the benchmark harness are thin
+// wrappers around this package.
+package exp
+
+import (
+	"fmt"
+
+	"hswsim/internal/core"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// Options scales experiment effort. Scale multiplies every measurement
+// duration and sample count: 1.0 reproduces the paper's procedure;
+// smaller values trade precision for speed (tests and quick runs).
+type Options struct {
+	Scale float64
+	Seed  uint64
+}
+
+// Defaults returns full-fidelity options.
+func Defaults() Options { return Options{Scale: 1.0, Seed: 0x5eed} }
+
+// Quick returns reduced-effort options for tests and smoke runs.
+func Quick() Options { return Options{Scale: 0.05, Seed: 0x5eed} }
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// dur scales a duration.
+func (o Options) dur(d sim.Time) sim.Time {
+	t := sim.Time(float64(d) * o.scale())
+	if t < sim.Millisecond {
+		t = sim.Millisecond
+	}
+	return t
+}
+
+// count scales a sample count (minimum 3).
+func (o Options) count(n int) int {
+	c := int(float64(n) * o.scale())
+	if c < 3 {
+		c = 3
+	}
+	return c
+}
+
+// newHSW builds the paper's default dual-socket Haswell-EP node.
+func (o Options) newHSW() (*core.System, error) {
+	cfg := core.DefaultConfig()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return core.NewSystem(cfg)
+}
+
+// settingLabel renders a frequency setting, using "Turbo" for the
+// turbo pseudo p-state.
+func settingLabel(spec *uarch.Spec, f uarch.MHz) string {
+	if f > spec.BaseMHz {
+		return "Turbo"
+	}
+	return fmt.Sprintf("%.1f", f.GHz())
+}
+
+// sweepSettings returns the paper's Table III/IV setting order: turbo
+// first, then base downwards to lowest.
+func sweepSettings(spec *uarch.Spec, lowest uarch.MHz) []uarch.MHz {
+	out := []uarch.MHz{spec.TurboSettingMHz()}
+	for f := spec.BaseMHz; f >= lowest; f -= spec.PStateStep {
+		out = append(out, f)
+	}
+	return out
+}

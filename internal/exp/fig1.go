@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hswsim/internal/ring"
+)
+
+// Fig1Render draws the paper's Figure 1 die layouts (the partitioned
+// ring interconnects of the 12- and 18-core Haswell-EP dies) as text.
+func Fig1Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1: Haswell-EP die layouts (partitioned ring interconnect)\n\n")
+	for _, die := range []int{8, 12, 18} {
+		topo, err := ring.ForDie(die)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%d-core die", die)
+		switch die {
+		case 8:
+			b.WriteString(" (4/6/8-core units): single bidirectional ring\n")
+		case 12:
+			b.WriteString(" (10/12-core units): 8-core + 4-core partitions\n")
+		case 18:
+			b.WriteString(" (14/16/18-core units): 8-core + 10-core partitions\n")
+		}
+		for _, p := range topo.Partitions {
+			cores := make([]string, len(p.CoreIDs))
+			for i, c := range p.CoreIDs {
+				cores[i] = fmt.Sprintf("%2d", c)
+			}
+			fmt.Fprintf(&b, "  +--ring %d", p.Index)
+			if p.IMC {
+				fmt.Fprintf(&b, " [IMC: %d DDR ch]", p.Channels)
+			}
+			b.WriteString("--+\n")
+			fmt.Fprintf(&b, "  | cores %s |\n", strings.Join(cores, " "))
+			b.WriteString("  +" + strings.Repeat("-", 12+3*len(p.CoreIDs)) + "+\n")
+		}
+		if len(topo.Partitions) > 1 {
+			fmt.Fprintf(&b, "  rings joined by buffered queues (%.0f uncore cycles/crossing)\n",
+				topo.QueueLatencyUncoreCycles)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("in the default configuration this structure is not exposed to software\n")
+	return b.String()
+}

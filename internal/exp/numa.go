@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"hswsim/internal/perfctr"
+	"hswsim/internal/report"
+	"hswsim/internal/sim"
+	"hswsim/internal/workload"
+)
+
+// NUMAPoint is one placement configuration's outcome.
+type NUMAPoint struct {
+	RemoteFrac float64
+	Cores      int
+	GBs        float64
+	PkgW       float64
+}
+
+// NUMAStudy sweeps memory placement (local -> interleaved -> remote)
+// for the DRAM stream at low and full concurrency on the dual-socket
+// platform: QPI latency dominates at low concurrency, QPI bandwidth at
+// saturation.
+func NUMAStudy(o Options) ([]NUMAPoint, *report.Table, error) {
+	var points []NUMAPoint
+	dur := o.dur(2 * sim.Second)
+	for _, cores := range []int{2, 12} {
+		for _, remote := range []float64{0, 0.5, 1.0} {
+			sys, err := o.newHSW()
+			if err != nil {
+				return nil, nil, err
+			}
+			k := workload.NUMAStream(remote)
+			for cpu := 0; cpu < cores; cpu++ {
+				if err := sys.AssignKernel(cpu, k, 2); err != nil {
+					return nil, nil, err
+				}
+			}
+			sys.SetPStateAll(2500)
+			sys.Run(50 * sim.Millisecond)
+			before := make([]perfctr.Snapshot, cores)
+			for cpu := 0; cpu < cores; cpu++ {
+				before[cpu] = sys.Core(cpu).Snapshot()
+			}
+			a, err := sys.ReadRAPL(0)
+			if err != nil {
+				return nil, nil, err
+			}
+			sys.Run(dur)
+			gbs := 0.0
+			for cpu := 0; cpu < cores; cpu++ {
+				iv := perfctr.Delta(before[cpu], sys.Core(cpu).Snapshot())
+				gbs += iv.GIPS() * 8
+			}
+			b, err := sys.ReadRAPL(0)
+			if err != nil {
+				return nil, nil, err
+			}
+			p, d := sys.RAPLPowerW(a, b)
+			points = append(points, NUMAPoint{
+				RemoteFrac: remote, Cores: cores, GBs: gbs, PkgW: p + d,
+			})
+		}
+	}
+	t := report.NewTable("NUMA placement: DRAM stream bandwidth by remote fraction",
+		"Cores", "Remote", "GB/s", "pkg+DRAM [W]")
+	for _, p := range points {
+		t.AddRow(report.F("%d", p.Cores), report.F("%.0f%%", p.RemoteFrac*100),
+			report.F("%.1f", p.GBs), report.F("%.1f", p.PkgW))
+	}
+	return points, t, nil
+}
+
+// NUMAAt fetches a point by configuration.
+func NUMAAt(points []NUMAPoint, cores int, remote float64) NUMAPoint {
+	for _, p := range points {
+		if p.Cores == cores && p.RemoteFrac == remote {
+			return p
+		}
+	}
+	return NUMAPoint{}
+}

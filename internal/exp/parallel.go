@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap runs fn over items on a bounded worker pool and returns
+// results in input order. Each item builds and runs its own independent
+// simulated platform, so parallelism does not affect determinism — only
+// wall-clock time. The first error wins.
+func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,115 @@
+package governor
+
+import (
+	"hswsim/internal/core"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// EDPRunner is an online energy-delay-product optimizer: it perturbs a
+// socket's common p-state, measures instructions and package energy
+// through RAPL, and hill-climbs toward the setting minimizing
+// energy x time per instruction. It exists because of the paper's RAPL
+// result — on Haswell-EP the interface reflects actual measurements,
+// "tremendously increasing the value of this interface" for exactly
+// this kind of feedback controller; on pre-Haswell modeled RAPL the
+// same loop would chase workload-dependent bias.
+type EDPRunner struct {
+	sys    *core.System
+	socket int
+	cpus   []int
+	period sim.Time
+
+	cur       uarch.MHz
+	lastEDP   float64
+	direction uarch.MHz // +step or -step
+	stop      func()
+
+	lastSnap perfctr.Snapshot
+	lastRAPL core.RAPLReading
+
+	// Evaluations counts completed measure-and-decide steps.
+	Evaluations int
+}
+
+// NewEDPRunner attaches the optimizer to one socket's CPUs.
+func NewEDPRunner(sys *core.System, socket int, period sim.Time) *EDPRunner {
+	if period <= 0 {
+		period = 50 * sim.Millisecond
+	}
+	spec := sys.Spec()
+	cpus := make([]int, spec.Cores)
+	for i := range cpus {
+		cpus[i] = socket*spec.Cores + i
+	}
+	return &EDPRunner{
+		sys: sys, socket: socket, cpus: cpus, period: period,
+		cur:       spec.BaseMHz,
+		direction: -spec.PStateStep,
+	}
+}
+
+// Start arms the optimization loop.
+func (r *EDPRunner) Start() {
+	for _, cpu := range r.cpus {
+		if err := r.sys.SetPState(cpu, r.cur); err != nil {
+			panic(err)
+		}
+	}
+	r.lastSnap = r.sys.Core(r.cpus[0]).Snapshot()
+	if rd, err := r.sys.ReadRAPL(r.socket); err == nil {
+		r.lastRAPL = rd
+	}
+	r.stop = r.sys.Engine.Every(r.sys.Now()+r.period, r.period, func(sim.Time) { r.step() })
+}
+
+// Stop detaches the optimizer.
+func (r *EDPRunner) Stop() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// Setting returns the current p-state choice.
+func (r *EDPRunner) Setting() uarch.MHz { return r.cur }
+
+func (r *EDPRunner) step() {
+	snap := r.sys.Core(r.cpus[0]).Snapshot()
+	rd, err := r.sys.ReadRAPL(r.socket)
+	if err != nil {
+		return
+	}
+	iv := perfctr.Delta(r.lastSnap, snap)
+	pkgW, _ := r.sys.RAPLPowerW(r.lastRAPL, rd)
+	r.lastSnap, r.lastRAPL = snap, rd
+	if iv.Instructions == 0 || pkgW <= 0 {
+		return
+	}
+	// EDP per instruction ~ power / rate^2.
+	rate := float64(iv.Instructions) / iv.Dt.Seconds()
+	edp := pkgW / (rate * rate)
+	if r.lastEDP > 0 && edp > r.lastEDP*1.002 {
+		// Worse: reverse the search direction.
+		r.direction = -r.direction
+	}
+	r.lastEDP = edp
+	spec := r.sys.Spec()
+	next := r.cur + r.direction
+	if next < spec.MinMHz {
+		next = spec.MinMHz
+		r.direction = spec.PStateStep
+	}
+	if next > spec.BaseMHz {
+		next = spec.TurboSettingMHz()
+		r.direction = -spec.PStateStep
+	}
+	r.cur = next
+	for _, cpu := range r.cpus {
+		if err := r.sys.SetPState(cpu, next); err != nil {
+			panic(err)
+		}
+	}
+	r.Evaluations++
+}

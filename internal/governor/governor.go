@@ -1,0 +1,220 @@
+// Package governor implements software energy-management policies on top
+// of the simulated platform: classic cpufreq-style DVFS governors and a
+// dynamic concurrency throttling (DCT) optimizer.
+//
+// These are the "energy efficiency optimization strategies such as DVFS
+// and DCT" whose viability the paper evaluates: its conclusions — slow
+// p-state transitions hurting DVFS in dynamic scenarios, DRAM bandwidth
+// independence from the core clock making DVFS/DCT attractive for
+// memory-bound codes — are directly observable through these policies.
+package governor
+
+import (
+	"fmt"
+
+	"hswsim/internal/core"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// Governor decides a per-CPU p-state from observed execution.
+type Governor interface {
+	Name() string
+	// Decide returns the next p-state request for a CPU given the last
+	// sampling interval. Returning 0 keeps the current setting.
+	Decide(cpu int, iv perfctr.Interval, cur uarch.MHz, spec *uarch.Spec) uarch.MHz
+}
+
+// Performance always requests turbo.
+type Performance struct{}
+
+func (Performance) Name() string { return "performance" }
+func (Performance) Decide(_ int, _ perfctr.Interval, _ uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	return spec.TurboSettingMHz()
+}
+
+// Powersave always requests the lowest p-state.
+type Powersave struct{}
+
+func (Powersave) Name() string { return "powersave" }
+func (Powersave) Decide(_ int, _ perfctr.Interval, _ uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	return spec.MinMHz
+}
+
+// OnDemand jumps to turbo above a utilization threshold and relaxes to
+// the minimum otherwise (the classic Linux ondemand shape). Utilization
+// is approximated by C0 residency (MPERF delta over wall time).
+type OnDemand struct {
+	UpThreshold float64 // e.g. 0.95
+}
+
+func (OnDemand) Name() string { return "ondemand" }
+
+func (g OnDemand) Decide(_ int, iv perfctr.Interval, _ uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	up := g.UpThreshold
+	if up <= 0 {
+		up = 0.95
+	}
+	util := c0Residency(iv, spec)
+	if util >= up {
+		return spec.TurboSettingMHz()
+	}
+	// Scale proportionally below the threshold.
+	span := float64(spec.BaseMHz - spec.MinMHz)
+	f := spec.MinMHz + uarch.MHz(util/up*span)
+	return quantize(f, spec)
+}
+
+// Conservative moves one p-state step at a time based on utilization
+// bands — slower to react, cheaper per transition.
+type Conservative struct {
+	UpThreshold   float64 // default 0.80
+	DownThreshold float64 // default 0.40
+}
+
+func (Conservative) Name() string { return "conservative" }
+
+func (g Conservative) Decide(_ int, iv perfctr.Interval, cur uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	up, down := g.UpThreshold, g.DownThreshold
+	if up <= 0 {
+		up = 0.80
+	}
+	if down <= 0 {
+		down = 0.40
+	}
+	util := c0Residency(iv, spec)
+	switch {
+	case util >= up:
+		next := cur + spec.PStateStep
+		if next > spec.BaseMHz {
+			return spec.TurboSettingMHz()
+		}
+		return next
+	case util <= down:
+		next := cur - spec.PStateStep
+		if next < spec.MinMHz {
+			return spec.MinMHz
+		}
+		return next
+	default:
+		return 0
+	}
+}
+
+// MemoryAware drops the core clock when the workload is memory-stalled —
+// exploiting the paper's key Haswell-EP result that DRAM bandwidth at
+// full concurrency no longer depends on the core frequency (Fig 7b), so
+// memory-bound phases can run at low p-states for free.
+type MemoryAware struct {
+	StallThreshold float64 // stall fraction above which to drop (default 0.4)
+}
+
+func (MemoryAware) Name() string { return "memory-aware" }
+
+func (g MemoryAware) Decide(_ int, iv perfctr.Interval, cur uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	th := g.StallThreshold
+	if th <= 0 {
+		th = 0.4
+	}
+	if iv.StallFrac() >= th {
+		return spec.MinMHz
+	}
+	return spec.TurboSettingMHz()
+}
+
+func c0Residency(iv perfctr.Interval, spec *uarch.Spec) float64 {
+	if iv.Dt <= 0 {
+		return 0
+	}
+	wall := spec.BaseMHz.GHz() * 1e9 * iv.Dt.Seconds()
+	if wall <= 0 {
+		return 0
+	}
+	u := float64(iv.RefCycles) / wall
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func quantize(f uarch.MHz, spec *uarch.Spec) uarch.MHz {
+	q := spec.MinMHz + (f-spec.MinMHz)/spec.PStateStep*spec.PStateStep
+	if q < spec.MinMHz {
+		q = spec.MinMHz
+	}
+	if q > spec.BaseMHz {
+		q = spec.BaseMHz
+	}
+	return q
+}
+
+// Runner samples the platform periodically and applies a governor to a
+// CPU set.
+type Runner struct {
+	sys      *core.System
+	gov      Governor
+	cpus     []int
+	period   sim.Time
+	last     map[int]perfctr.Snapshot
+	decision map[int]uarch.MHz
+	stop     func()
+	// Transitions counts the p-state requests the governor issued.
+	Transitions int
+}
+
+// NewRunner attaches a governor to the given CPUs with the given
+// sampling period (e.g. 10 ms for ondemand).
+func NewRunner(sys *core.System, gov Governor, cpus []int, period sim.Time) *Runner {
+	if period <= 0 {
+		period = 10 * sim.Millisecond
+	}
+	r := &Runner{
+		sys: sys, gov: gov, cpus: cpus, period: period,
+		last:     map[int]perfctr.Snapshot{},
+		decision: map[int]uarch.MHz{},
+	}
+	return r
+}
+
+// Start arms the sampling loop.
+func (r *Runner) Start() {
+	for _, cpu := range r.cpus {
+		r.last[cpu] = r.sys.Core(cpu).Snapshot()
+	}
+	r.stop = r.sys.Engine.Every(r.sys.Now()+r.period, r.period, func(now sim.Time) {
+		r.step()
+	})
+}
+
+// Stop detaches the governor.
+func (r *Runner) Stop() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+func (r *Runner) step() {
+	spec := r.sys.Spec()
+	for _, cpu := range r.cpus {
+		snap := r.sys.Core(cpu).Snapshot()
+		iv := perfctr.Delta(r.last[cpu], snap)
+		r.last[cpu] = snap
+		cur := r.decision[cpu]
+		if cur == 0 {
+			cur = spec.BaseMHz
+		}
+		next := r.gov.Decide(cpu, iv, cur, spec)
+		if next != 0 && next != cur {
+			if err := r.sys.SetPState(cpu, next); err == nil {
+				r.decision[cpu] = next
+				r.Transitions++
+			}
+		}
+	}
+}
+
+func (r *Runner) String() string {
+	return fmt.Sprintf("governor %s over %d cpus, period %v", r.gov.Name(), len(r.cpus), r.period)
+}

@@ -1,0 +1,242 @@
+package governor
+
+import (
+	"testing"
+
+	"hswsim/internal/core"
+	"hswsim/internal/perfctr"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+	"hswsim/internal/workload"
+)
+
+func newSys(t *testing.T) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func busyInterval(spec *uarch.Spec, dur sim.Time) perfctr.Interval {
+	// Fully busy interval at base frequency.
+	cyc := uint64(spec.BaseMHz.GHz() * 1e9 * dur.Seconds())
+	return perfctr.Interval{Dt: dur, Cycles: cyc, RefCycles: cyc, Instructions: cyc}
+}
+
+func idleInterval(dur sim.Time) perfctr.Interval {
+	return perfctr.Interval{Dt: dur}
+}
+
+func TestStaticGovernors(t *testing.T) {
+	spec := uarch.E52680v3()
+	iv := busyInterval(spec, 10*sim.Millisecond)
+	if f := (Performance{}).Decide(0, iv, 2500, spec); f != spec.TurboSettingMHz() {
+		t.Errorf("performance governor -> %v", f)
+	}
+	if f := (Powersave{}).Decide(0, iv, 2500, spec); f != spec.MinMHz {
+		t.Errorf("powersave governor -> %v", f)
+	}
+}
+
+func TestOnDemand(t *testing.T) {
+	spec := uarch.E52680v3()
+	g := OnDemand{}
+	if f := g.Decide(0, busyInterval(spec, 10*sim.Millisecond), 1200, spec); f != spec.TurboSettingMHz() {
+		t.Errorf("busy ondemand -> %v, want turbo", f)
+	}
+	if f := g.Decide(0, idleInterval(10*sim.Millisecond), 2500, spec); f != spec.MinMHz {
+		t.Errorf("idle ondemand -> %v, want min", f)
+	}
+	// Half busy: mid-range, quantized to a p-state.
+	iv := busyInterval(spec, 10*sim.Millisecond)
+	iv.RefCycles /= 2
+	f := g.Decide(0, iv, 2500, spec)
+	if f <= spec.MinMHz || f >= spec.BaseMHz {
+		t.Errorf("half-busy ondemand -> %v, want mid-range", f)
+	}
+	if (f-spec.MinMHz)%spec.PStateStep != 0 {
+		t.Errorf("ondemand returned unquantized %v", f)
+	}
+}
+
+func TestConservativeStepsOnce(t *testing.T) {
+	spec := uarch.E52680v3()
+	g := Conservative{}
+	if f := g.Decide(0, busyInterval(spec, 10*sim.Millisecond), 2000, spec); f != 2100 {
+		t.Errorf("busy conservative from 2.0 -> %v, want 2.1", f)
+	}
+	if f := g.Decide(0, idleInterval(10*sim.Millisecond), 2000, spec); f != 1900 {
+		t.Errorf("idle conservative from 2.0 -> %v, want 1.9", f)
+	}
+	// Mid utilization: hold.
+	iv := busyInterval(spec, 10*sim.Millisecond)
+	iv.RefCycles = iv.RefCycles / 2
+	if f := g.Decide(0, iv, 2000, spec); f != 0 {
+		t.Errorf("mid-band conservative -> %v, want hold", f)
+	}
+	// Clamps at the ends.
+	if f := g.Decide(0, busyInterval(spec, 10*sim.Millisecond), 2500, spec); f != spec.TurboSettingMHz() {
+		t.Errorf("conservative above base -> %v, want turbo", f)
+	}
+	if f := g.Decide(0, idleInterval(10*sim.Millisecond), 1200, spec); f != 1200 {
+		t.Errorf("conservative below min -> %v", f)
+	}
+}
+
+func TestMemoryAware(t *testing.T) {
+	spec := uarch.E52680v3()
+	g := MemoryAware{}
+	stalled := perfctr.Interval{Dt: sim.Millisecond, Cycles: 1e6, StallCycles: 6e5}
+	if f := g.Decide(0, stalled, 2500, spec); f != spec.MinMHz {
+		t.Errorf("stalled memory-aware -> %v, want min", f)
+	}
+	smooth := perfctr.Interval{Dt: sim.Millisecond, Cycles: 1e6, StallCycles: 1e5}
+	if f := g.Decide(0, smooth, 1200, spec); f != spec.TurboSettingMHz() {
+		t.Errorf("compute memory-aware -> %v, want turbo", f)
+	}
+}
+
+func TestRunnerDrivesSystem(t *testing.T) {
+	// ondemand on an idle-then-busy core must ramp the clock up.
+	s := newSys(t)
+	if err := s.AssignKernel(0, workload.BusyWait(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetPState(0, 1200)
+	s.Run(5 * sim.Millisecond)
+	r := NewRunner(s, OnDemand{}, []int{0}, 10*sim.Millisecond)
+	r.Start()
+	s.Run(200 * sim.Millisecond)
+	r.Stop()
+	if f := s.CoreFreqMHz(0); f < 2500 {
+		t.Errorf("ondemand left busy core at %v, want turbo-range clock", f)
+	}
+	if r.Transitions == 0 {
+		t.Error("runner issued no transitions")
+	}
+	// After Stop, no more transitions are issued.
+	n := r.Transitions
+	s.Run(100 * sim.Millisecond)
+	if r.Transitions != n {
+		t.Error("runner still active after Stop")
+	}
+}
+
+func TestMemoryAwareRunnerSavesEnergyOnStreams(t *testing.T) {
+	// The paper's conclusion made executable: for a DRAM-bound workload
+	// at full concurrency, dropping the core clock costs (almost) no
+	// bandwidth but saves real power.
+	run := func(gov Governor) (gbs, watts float64) {
+		s := newSys(t)
+		cpus := make([]int, 12)
+		for cpu := 0; cpu < 12; cpu++ {
+			cpus[cpu] = cpu
+			if err := s.AssignKernel(cpu, workload.MemStream(), 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RequestTurbo()
+		r := NewRunner(s, gov, cpus, 10*sim.Millisecond)
+		r.Start()
+		s.Run(300 * sim.Millisecond) // let the governor settle
+		before := make([]perfctr.Snapshot, 12)
+		for cpu := 0; cpu < 12; cpu++ {
+			before[cpu] = s.Core(cpu).Snapshot()
+		}
+		ra, err := s.ReadRAPL(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(500 * sim.Millisecond)
+		rb, err := s.ReadRAPL(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cpu := 0; cpu < 12; cpu++ {
+			iv := perfctr.Delta(before[cpu], s.Core(cpu).Snapshot())
+			gbs += iv.GIPS() * 8
+		}
+		p, d := s.RAPLPowerW(ra, rb)
+		r.Stop()
+		return gbs, p + d
+	}
+	perfGBs, perfW := run(Performance{})
+	memGBs, memW := run(MemoryAware{})
+	if memGBs < perfGBs*0.97 {
+		t.Errorf("memory-aware lost bandwidth: %.1f vs %.1f GB/s", memGBs, perfGBs)
+	}
+	// Savings come from the core plane only — the uncore (pinned at
+	// 3.0 GHz by stalls) and DRAM keep drawing; expect a real but
+	// moderate package-level saving.
+	if memW >= perfW*0.95 {
+		t.Errorf("memory-aware saved no power: %.1f vs %.1f W", memW, perfW)
+	}
+}
+
+func TestDCTOptimize(t *testing.T) {
+	mk := func() (*core.System, error) { return core.NewSystem(core.DefaultConfig()) }
+	res, err := DCTOptimize(mk, workload.MemStream(), 55, 200*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 18 {
+		t.Fatalf("expected 18 search points, got %d", len(res.Points))
+	}
+	b := res.Best
+	if b.GBs < 55 {
+		t.Fatalf("best config misses the bandwidth floor: %.1f GB/s", b.GBs)
+	}
+	// The optimizer should discover that full cores + full clock are
+	// unnecessary: saturation at <= 10 cores and a low clock suffice.
+	if b.Cores > 10 {
+		t.Errorf("best uses %d cores; saturation should allow fewer", b.Cores)
+	}
+	if b.FreqMHz > 1800 {
+		t.Errorf("best uses %v; DRAM bw should be clock-independent", b.FreqMHz)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+	// Infeasible floor errors out.
+	if _, err := DCTOptimize(mk, workload.MemStream(), 1e6, 50*sim.Millisecond); err == nil {
+		t.Error("infeasible bandwidth floor accepted")
+	}
+}
+
+func TestEDPRunnerConverges(t *testing.T) {
+	run := func(k workload.Kernel) (setting float64, evals int) {
+		sys := newSys(t)
+		for cpu := 0; cpu < 12; cpu++ {
+			if err := sys.AssignKernel(cpu, k, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := NewEDPRunner(sys, 0, 20*sim.Millisecond)
+		r.Start()
+		// Track the time-weighted average setting after a warmup.
+		sys.Run(400 * sim.Millisecond)
+		sum, n := 0.0, 0
+		for i := 0; i < 30; i++ {
+			sys.Run(20 * sim.Millisecond)
+			sum += r.Setting().GHz()
+			n++
+		}
+		r.Stop()
+		return sum / float64(n), r.Evaluations
+	}
+	computeSet, evals := run(workload.Compute())
+	if evals < 10 {
+		t.Fatalf("optimizer barely ran: %d evaluations", evals)
+	}
+	streamSet, _ := run(workload.MemStream())
+	// A compute-bound kernel's EDP optimum sits at a higher clock than a
+	// DRAM-saturated one, whose rate does not improve with frequency.
+	if computeSet <= streamSet {
+		t.Errorf("EDP settings: compute %.2f GHz should exceed stream %.2f GHz", computeSet, streamSet)
+	}
+	if streamSet > 1.9 {
+		t.Errorf("stream EDP setting = %.2f GHz, want near the bottom", streamSet)
+	}
+}

@@ -1,0 +1,78 @@
+package governor
+
+import (
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// IdleGovernor picks a c-state for a predicted idle interval, the way
+// an OS menu governor does: deepest state whose advertised exit latency
+// fits within a tolerated share of the idle time.
+//
+// The paper's Section VI-B point becomes executable here: the ACPI
+// tables advertise 33/133 us for C3/C6 while the real Haswell-EP exits
+// take ~7-26 us, so a governor trusting the tables leaves deep states
+// unused for short idle periods — "the discrepancy ... underlines the
+// need for an interface to change these tables at runtime".
+type IdleGovernor struct {
+	// Latency advertises the exit cost per state.
+	Latency map[cstate.State]sim.Time
+	// LatencyShare is the maximum tolerated exit-latency fraction of
+	// the predicted idle interval (menu uses a comparable heuristic).
+	LatencyShare float64
+}
+
+// ACPIIdleGovernor trusts the firmware ACPI tables.
+func ACPIIdleGovernor() *IdleGovernor {
+	return &IdleGovernor{
+		Latency: map[cstate.State]sim.Time{
+			cstate.C1: cstate.ACPITableLatency(cstate.C1),
+			cstate.C3: cstate.ACPITableLatency(cstate.C3),
+			cstate.C6: cstate.ACPITableLatency(cstate.C6),
+		},
+		LatencyShare: 0.25,
+	}
+}
+
+// MeasuredIdleGovernor uses measured worst-case exit latencies for the
+// generation (the runtime-corrected tables the paper calls for).
+func MeasuredIdleGovernor(gen uarch.Generation) *IdleGovernor {
+	m := cstate.LatencyModel{Gen: gen}
+	worst := func(s cstate.State) sim.Time {
+		// Worst case across the p-state range, local scenario (the
+		// common same-package wake).
+		w := sim.Time(0)
+		for f := uarch.MHz(1200); f <= 2500; f += 100 {
+			if l := m.ExitLatency(s, cstate.Local, f); l > w {
+				w = l
+			}
+		}
+		return w
+	}
+	return &IdleGovernor{
+		Latency: map[cstate.State]sim.Time{
+			cstate.C1: worst(cstate.C1),
+			cstate.C3: worst(cstate.C3),
+			cstate.C6: worst(cstate.C6),
+		},
+		LatencyShare: 0.25,
+	}
+}
+
+// Pick returns the deepest idle state whose advertised exit latency
+// fits the predicted idle interval.
+func (g *IdleGovernor) Pick(predictedIdle sim.Time) cstate.State {
+	share := g.LatencyShare
+	if share <= 0 {
+		share = 0.25
+	}
+	budget := sim.Time(float64(predictedIdle) * share)
+	best := cstate.C1
+	for _, s := range []cstate.State{cstate.C3, cstate.C6} {
+		if lat, ok := g.Latency[s]; ok && lat <= budget {
+			best = s
+		}
+	}
+	return best
+}

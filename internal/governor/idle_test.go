@@ -1,0 +1,61 @@
+package governor
+
+import (
+	"testing"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+func TestACPIIdleGovernorConservative(t *testing.T) {
+	g := ACPIIdleGovernor()
+	// 80 us predicted idle: C3 (33 us) and C6 (133 us) both exceed the
+	// 25% latency budget -> stuck at C1.
+	if s := g.Pick(80 * sim.Microsecond); s != cstate.C1 {
+		t.Errorf("80us idle -> %v, want C1 under ACPI tables", s)
+	}
+	// 200 us: C3 fits (33 <= 50), C6 does not.
+	if s := g.Pick(200 * sim.Microsecond); s != cstate.C3 {
+		t.Errorf("200us idle -> %v, want C3", s)
+	}
+	// 1 ms: C6 fits (133 <= 250).
+	if s := g.Pick(sim.Millisecond); s != cstate.C6 {
+		t.Errorf("1ms idle -> %v, want C6", s)
+	}
+}
+
+func TestMeasuredIdleGovernorAggressive(t *testing.T) {
+	g := MeasuredIdleGovernor(uarch.HaswellEP)
+	// With real ~15 us C6 exits, even an 80 us idle affords C6.
+	if s := g.Pick(80 * sim.Microsecond); s != cstate.C6 {
+		t.Errorf("80us idle -> %v, want C6 with measured tables", s)
+	}
+	// Extremely short idle still falls back to C1.
+	if s := g.Pick(10 * sim.Microsecond); s != cstate.C1 {
+		t.Errorf("10us idle -> %v, want C1", s)
+	}
+}
+
+func TestMeasuredTablesBelowACPI(t *testing.T) {
+	acpi := ACPIIdleGovernor()
+	meas := MeasuredIdleGovernor(uarch.HaswellEP)
+	for _, s := range []cstate.State{cstate.C3, cstate.C6} {
+		if meas.Latency[s] >= acpi.Latency[s] {
+			t.Errorf("%v: measured %v should be below ACPI %v", s, meas.Latency[s], acpi.Latency[s])
+		}
+	}
+}
+
+func TestIdleGovernorDefaults(t *testing.T) {
+	g := &IdleGovernor{Latency: map[cstate.State]sim.Time{
+		cstate.C3: 10 * sim.Microsecond,
+	}}
+	// Zero LatencyShare falls back to 25%.
+	if s := g.Pick(100 * sim.Microsecond); s != cstate.C3 {
+		t.Errorf("default share pick = %v", s)
+	}
+	if s := g.Pick(20 * sim.Microsecond); s != cstate.C1 {
+		t.Errorf("too-short idle pick = %v", s)
+	}
+}

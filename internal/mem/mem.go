@@ -1,0 +1,72 @@
+// Package mem models the integrated memory controllers and DRAM: channel
+// capacity, the uncore-clocked transfer limit of the DRAM path, and DRAM
+// energy. On partitioned Haswell-EP dies each partition's IMC serves two
+// DDR4 channels (Figure 1); addresses interleave across all channels so
+// software sees one memory domain.
+package mem
+
+import (
+	"fmt"
+
+	"hswsim/internal/ring"
+	"hswsim/internal/uarch"
+)
+
+// IMC is the per-package memory subsystem.
+type IMC struct {
+	spec *uarch.Spec
+	topo *ring.Topology
+	// DIMMs installed (one per channel on the paper's test node).
+	DIMMs int
+}
+
+// New builds the memory subsystem for a package.
+func New(spec *uarch.Spec, topo *ring.Topology) *IMC {
+	return &IMC{spec: spec, topo: topo, DIMMs: topo.Channels()}
+}
+
+// PeakGBs returns the theoretical channel bandwidth (e.g. 68.2 GB/s for
+// 4x DDR4-2133).
+func (m *IMC) PeakGBs() float64 { return m.spec.Mem.DDRPeakGBs }
+
+// StreamCapacityGBs returns the achievable streaming-read bandwidth at
+// the given uncore frequency: the channel limit scaled by stream
+// efficiency, further capped by the uncore-clocked DRAM path. A halted
+// uncore (deep package sleep) transfers nothing.
+func (m *IMC) StreamCapacityGBs(uncoreGHz float64) float64 {
+	if uncoreGHz <= 0 {
+		return 0
+	}
+	ch := m.spec.Mem.DDRPeakGBs * m.spec.Mem.DDRStreamEff
+	un := m.spec.Mem.MemGBsPerUncoreGHz * uncoreGHz
+	if un < ch {
+		return un
+	}
+	return ch
+}
+
+// AccessLatencyNanos returns the average DRAM access latency for a core,
+// decomposed into core-clocked, uncore-clocked (including ring hops to
+// the interleaved IMCs) and fixed DRAM device components.
+func (m *IMC) AccessLatencyNanos(core int, coreGHz, uncoreGHz float64) float64 {
+	if coreGHz <= 0 || uncoreGHz <= 0 {
+		return 0
+	}
+	mm := m.spec.Mem
+	hops := m.topo.AvgIMCHopCycles(core)
+	return mm.MemCoreCycles/coreGHz + (mm.MemUncoreCycles+hops)/uncoreGHz + mm.MemDRAMNanos
+}
+
+// PowerWatts returns DRAM power for this package at the given transfer
+// rate: per-DIMM background power plus energy per byte moved.
+func (m *IMC) PowerWatts(gbs float64) float64 {
+	static := float64(m.DIMMs) * m.spec.Power.DRAMStaticPerDIMM
+	dynamic := gbs * m.spec.Power.DRAMPicoJoulePerByte / 1000 // GB/s * pJ/B = mW*1000
+	return static + dynamic
+}
+
+// String describes the configuration.
+func (m *IMC) String() string {
+	return fmt.Sprintf("%s, %d channels, %d DIMMs, peak %.1f GB/s",
+		m.spec.TableI.SupportedMemory, m.topo.Channels(), m.DIMMs, m.PeakGBs())
+}

@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"hswsim/internal/ring"
+	"hswsim/internal/uarch"
+)
+
+func imc(t *testing.T) *IMC {
+	t.Helper()
+	spec := uarch.E52680v3()
+	topo, err := ring.ForDie(spec.DiesCores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(spec, topo)
+}
+
+func TestPeakMatchesTableI(t *testing.T) {
+	if got := imc(t).PeakGBs(); got != 68.2 {
+		t.Fatalf("peak = %v, want 68.2 GB/s (4x DDR4-2133)", got)
+	}
+}
+
+func TestStreamCapacityCaps(t *testing.T) {
+	m := imc(t)
+	// At full uncore clock the channel limit binds (~62 GB/s).
+	full := m.StreamCapacityGBs(3.0)
+	if full < 60 || full > 63 {
+		t.Fatalf("capacity at 3.0 GHz = %v, want ~62", full)
+	}
+	// At a low uncore clock the uncore path binds and capacity drops.
+	low := m.StreamCapacityGBs(1.2)
+	if low >= full {
+		t.Fatalf("capacity must drop with uncore clock: %v vs %v", low, full)
+	}
+	if got := m.StreamCapacityGBs(0); got != 0 {
+		t.Fatalf("halted uncore capacity = %v, want 0", got)
+	}
+}
+
+func TestAccessLatencyComponents(t *testing.T) {
+	m := imc(t)
+	l := m.AccessLatencyNanos(0, 2.5, 3.0)
+	// Fixed DRAM part must be included.
+	if l <= uarch.E52680v3().Mem.MemDRAMNanos {
+		t.Fatalf("latency %v must exceed the DRAM device time", l)
+	}
+	// Slower clocks increase latency.
+	if m.AccessLatencyNanos(0, 1.2, 3.0) <= l {
+		t.Fatal("slower core clock must increase latency")
+	}
+	if m.AccessLatencyNanos(0, 2.5, 1.2) <= l {
+		t.Fatal("slower uncore clock must increase latency")
+	}
+	if m.AccessLatencyNanos(0, 0, 3.0) != 0 {
+		t.Fatal("degenerate frequency must return 0")
+	}
+}
+
+func TestPowerScalesWithTraffic(t *testing.T) {
+	m := imc(t)
+	idle := m.PowerWatts(0)
+	if idle <= 0 {
+		t.Fatal("DIMM background power must be positive")
+	}
+	// 350 pJ/B at 60 GB/s = 21 W dynamic.
+	busy := m.PowerWatts(60)
+	if d := busy - idle; d < 20 || d > 22 {
+		t.Fatalf("dynamic DRAM power at 60 GB/s = %v, want ~21 W", d)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := imc(t).String()
+	if !strings.Contains(s, "DDR4") || !strings.Contains(s, "68.2") {
+		t.Fatalf("String() = %q", s)
+	}
+}

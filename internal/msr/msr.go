@@ -1,0 +1,225 @@
+// Package msr models the model-specific-register interface through which
+// the paper's tools observe and steer the processor: RAPL energy
+// counters, the energy/performance bias, p-state control, and the
+// (undocumented) uncore ratio limit. Platform components register
+// handlers for the registers they implement; tools issue Read/Write with
+// rdmsr/wrmsr semantics, including #GP-style errors for unimplemented
+// registers — the awkward part of real MSR access, reproduced faithfully
+// but safely.
+package msr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Register numbers for the modeled MSRs (Intel SDM Vol. 4 numbering).
+const (
+	IA32_TIME_STAMP_COUNTER = 0x10
+	IA32_MPERF              = 0xE7
+	IA32_APERF              = 0xE8
+	MSR_PLATFORM_INFO       = 0xCE
+	IA32_PERF_STATUS        = 0x198
+	IA32_PERF_CTL           = 0x199
+	IA32_ENERGY_PERF_BIAS   = 0x1B0
+	MSR_RAPL_POWER_UNIT     = 0x606
+	MSR_PKG_POWER_LIMIT     = 0x610
+	MSR_PKG_ENERGY_STATUS   = 0x611
+	MSR_DRAM_ENERGY_STATUS  = 0x619
+	MSR_UNCORE_RATIO_LIMIT  = 0x620
+	MSR_PP0_ENERGY_STATUS   = 0x639
+)
+
+// Name returns the symbolic name of a known register.
+func Name(reg uint32) string {
+	switch reg {
+	case IA32_TIME_STAMP_COUNTER:
+		return "IA32_TIME_STAMP_COUNTER"
+	case IA32_MPERF:
+		return "IA32_MPERF"
+	case IA32_APERF:
+		return "IA32_APERF"
+	case MSR_PLATFORM_INFO:
+		return "MSR_PLATFORM_INFO"
+	case IA32_PERF_STATUS:
+		return "IA32_PERF_STATUS"
+	case IA32_PERF_CTL:
+		return "IA32_PERF_CTL"
+	case IA32_ENERGY_PERF_BIAS:
+		return "IA32_ENERGY_PERF_BIAS"
+	case MSR_RAPL_POWER_UNIT:
+		return "MSR_RAPL_POWER_UNIT"
+	case MSR_PKG_POWER_LIMIT:
+		return "MSR_PKG_POWER_LIMIT"
+	case MSR_PKG_ENERGY_STATUS:
+		return "MSR_PKG_ENERGY_STATUS"
+	case MSR_DRAM_ENERGY_STATUS:
+		return "MSR_DRAM_ENERGY_STATUS"
+	case MSR_UNCORE_RATIO_LIMIT:
+		return "MSR_UNCORE_RATIO_LIMIT"
+	case MSR_PP0_ENERGY_STATUS:
+		return "MSR_PP0_ENERGY_STATUS"
+	default:
+		return fmt.Sprintf("MSR_%#x", reg)
+	}
+}
+
+// GPFault is the error returned for access to an unimplemented register
+// or a write to a read-only one — the software-visible effect of a
+// general-protection fault on rdmsr/wrmsr.
+type GPFault struct {
+	Reg   uint32
+	CPU   int
+	Write bool
+}
+
+func (e *GPFault) Error() string {
+	op := "rdmsr"
+	if e.Write {
+		op = "wrmsr"
+	}
+	return fmt.Sprintf("msr: #GP on %s %s (cpu %d)", op, Name(e.Reg), e.CPU)
+}
+
+// Handler implements one register. CPU is the logical CPU issuing the
+// access; package-scoped registers must map it to their socket
+// themselves (see PerPackage).
+type Handler interface {
+	ReadMSR(cpu int) (uint64, error)
+	WriteMSR(cpu int, v uint64) error
+}
+
+// Device is the per-system MSR access multiplexer.
+type Device struct {
+	regs map[uint32]Handler
+}
+
+// NewDevice returns an empty register file.
+func NewDevice() *Device {
+	return &Device{regs: make(map[uint32]Handler)}
+}
+
+// Implement installs a handler for reg, replacing any previous one.
+func (d *Device) Implement(reg uint32, h Handler) {
+	d.regs[reg] = h
+}
+
+// Implemented lists the implemented register numbers in ascending order.
+func (d *Device) Implemented() []uint32 {
+	out := make([]uint32, 0, len(d.regs))
+	for r := range d.regs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Read performs rdmsr on the given logical CPU.
+func (d *Device) Read(cpu int, reg uint32) (uint64, error) {
+	h, ok := d.regs[reg]
+	if !ok {
+		return 0, &GPFault{Reg: reg, CPU: cpu}
+	}
+	return h.ReadMSR(cpu)
+}
+
+// Write performs wrmsr on the given logical CPU.
+func (d *Device) Write(cpu int, reg uint32, v uint64) error {
+	h, ok := d.regs[reg]
+	if !ok {
+		return &GPFault{Reg: reg, CPU: cpu, Write: true}
+	}
+	return h.WriteMSR(cpu, v)
+}
+
+// Static is a Handler backed by one shared value (global scope).
+type Static struct {
+	V        uint64
+	ReadOnly bool
+	Reg      uint32 // for error reporting
+}
+
+func (s *Static) ReadMSR(cpu int) (uint64, error) { return s.V, nil }
+func (s *Static) WriteMSR(cpu int, v uint64) error {
+	if s.ReadOnly {
+		return &GPFault{Reg: s.Reg, CPU: cpu, Write: true}
+	}
+	s.V = v
+	return nil
+}
+
+// PerCPU is a Handler with one value per logical CPU.
+type PerCPU struct {
+	Vals     []uint64
+	ReadOnly bool
+	Reg      uint32
+	// OnWrite, if set, is invoked after a successful write.
+	OnWrite func(cpu int, v uint64)
+}
+
+// NewPerCPU allocates per-CPU storage for n logical CPUs.
+func NewPerCPU(reg uint32, n int, readOnly bool) *PerCPU {
+	return &PerCPU{Vals: make([]uint64, n), ReadOnly: readOnly, Reg: reg}
+}
+
+func (p *PerCPU) ReadMSR(cpu int) (uint64, error) {
+	if cpu < 0 || cpu >= len(p.Vals) {
+		return 0, &GPFault{Reg: p.Reg, CPU: cpu}
+	}
+	return p.Vals[cpu], nil
+}
+
+func (p *PerCPU) WriteMSR(cpu int, v uint64) error {
+	if cpu < 0 || cpu >= len(p.Vals) || p.ReadOnly {
+		return &GPFault{Reg: p.Reg, CPU: cpu, Write: true}
+	}
+	p.Vals[cpu] = v
+	if p.OnWrite != nil {
+		p.OnWrite(cpu, v)
+	}
+	return nil
+}
+
+// Func adapts read/write callbacks to a Handler; nil write means
+// read-only.
+type Func struct {
+	Reg     uint32
+	ReadFn  func(cpu int) (uint64, error)
+	WriteFn func(cpu int, v uint64) error
+}
+
+func (f *Func) ReadMSR(cpu int) (uint64, error) {
+	if f.ReadFn == nil {
+		return 0, &GPFault{Reg: f.Reg, CPU: cpu}
+	}
+	return f.ReadFn(cpu)
+}
+
+func (f *Func) WriteMSR(cpu int, v uint64) error {
+	if f.WriteFn == nil {
+		return &GPFault{Reg: f.Reg, CPU: cpu, Write: true}
+	}
+	return f.WriteFn(cpu, v)
+}
+
+// RAPL unit-register helpers (MSR_RAPL_POWER_UNIT layout):
+// bits 3:0 power unit (1/2^p W), 12:8 energy unit (1/2^e J),
+// 19:16 time unit (1/2^t s).
+
+// PowerUnitValue builds MSR_RAPL_POWER_UNIT contents from exponents.
+func PowerUnitValue(powerExp, energyExp, timeExp uint) uint64 {
+	return uint64(powerExp&0xF) | uint64(energyExp&0x1F)<<8 | uint64(timeExp&0xF)<<16
+}
+
+// EnergyUnitJoules extracts the package energy unit in joules from a
+// MSR_RAPL_POWER_UNIT value.
+func EnergyUnitJoules(unitReg uint64) float64 {
+	exp := (unitReg >> 8) & 0x1F
+	return 1 / float64(uint64(1)<<exp)
+}
+
+// DRAMEnergyUnitJoules returns the energy unit that must be used for the
+// DRAM domain on Haswell-EP: a fixed 15.3 uJ regardless of the unit
+// register (Section IV; using the unit register's value — "DRAM mode 0"
+// semantics — yields unreasonably high power readings).
+const DRAMEnergyUnitJoulesHaswellEP = 15.3e-6

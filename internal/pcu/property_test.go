@@ -1,0 +1,186 @@
+package pcu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// arbitraryTelemetry builds a telemetry sample from fuzz inputs.
+func arbitraryTelemetry(spec *uarch.Spec, active uint16, reqSel, power uint8, stalls bool) Telemetry {
+	tel := Telemetry{
+		Cores:        make([]CoreTelemetry, spec.Cores),
+		PkgPowerW:    float64(power),
+		MemoryStalls: stalls,
+	}
+	settings := append(spec.PStates(), spec.TurboSettingMHz())
+	for i := range tel.Cores {
+		if active&(1<<uint(i%16)) != 0 {
+			tel.Cores[i] = CoreTelemetry{
+				Active:     true,
+				RequestMHz: settings[(int(reqSel)+i)%len(settings)],
+				AVXNow:     i%3 == 0,
+				StallFrac:  float64(i%5) / 5,
+				EPB:        EPB(i % 16).Classify(),
+			}
+		}
+	}
+	return tel
+}
+
+// Property: under any telemetry sequence, every granted core frequency
+// stays within [MinMHz, max turbo] and the uncore stays within
+// [0 or UncoreMin, UncoreMax].
+func TestPropertyGrantsWithinHardwareRange(t *testing.T) {
+	spec := uarch.E52680v3()
+	f := func(active uint16, reqSel, power uint8, stalls bool, ticks uint8) bool {
+		p := New(DefaultConfig(spec, 0, 0))
+		now := sim.Time(0)
+		for i := 0; i < int(ticks%40)+1; i++ {
+			tel := arbitraryTelemetry(spec, active, reqSel, power, stalls)
+			dec := p.Tick(now, tel)
+			for _, f := range dec.CoreTargetMHz {
+				if f < spec.MinMHz || f > spec.MaxTurboMHz() {
+					return false
+				}
+			}
+			if dec.UncoreMHz != 0 && (dec.UncoreMHz < spec.UncoreMinMHz || dec.UncoreMHz > spec.UncoreMaxMHz) {
+				return false
+			}
+			now += 500 * sim.Microsecond
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at the rated TDP, an AVX core's grant never falls below the
+// guaranteed AVX base frequency regardless of power pressure.
+func TestPropertyAVXBaseGuarantee(t *testing.T) {
+	spec := uarch.E52680v3()
+	f := func(power uint8, ticks uint8) bool {
+		p := New(DefaultConfig(spec, 0, 0))
+		now := sim.Time(0)
+		for i := 0; i < int(ticks%60)+1; i++ {
+			tel := Telemetry{
+				Cores:        make([]CoreTelemetry, spec.Cores),
+				PkgPowerW:    100 + float64(power), // 100..355 W: heavy pressure
+				MemoryStalls: true,
+			}
+			for j := range tel.Cores {
+				tel.Cores[j] = CoreTelemetry{
+					Active: true, RequestMHz: spec.TurboSettingMHz(),
+					AVXNow: true, EPB: EPBBalanced,
+				}
+			}
+			dec := p.Tick(now, tel)
+			for _, g := range dec.CoreTargetMHz {
+				if g < spec.AVXBaseMHz {
+					return false
+				}
+			}
+			now += 500 * sim.Microsecond
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an inactive core is always parked at the minimum p-state.
+func TestPropertyIdleCoresPark(t *testing.T) {
+	spec := uarch.E52680v3()
+	f := func(active uint16, reqSel, power uint8) bool {
+		p := New(DefaultConfig(spec, 0, 0))
+		tel := arbitraryTelemetry(spec, active, reqSel, power, false)
+		dec := p.Tick(0, tel)
+		for i, ct := range tel.Cores {
+			if !ct.Active && dec.CoreTargetMHz[i] != spec.MinMHz {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the uncore is halted exactly in deep package sleep states.
+func TestPropertyUncoreHaltMatchesPkgState(t *testing.T) {
+	spec := uarch.E52680v3()
+	for _, st := range []cstate.PkgState{cstate.PC0, cstate.PC3, cstate.PC6} {
+		p := New(DefaultConfig(spec, 0, 0))
+		dec := p.Tick(0, Telemetry{
+			Cores:     make([]CoreTelemetry, spec.Cores),
+			PkgPowerW: 10,
+			PkgCState: st,
+		})
+		halted := dec.UncoreMHz == 0
+		if halted != cstate.UncoreHalted(st) {
+			t.Errorf("pkg %v: uncore halted=%v", st, halted)
+		}
+	}
+}
+
+// Property: software uncore limits are always honored, for any limit
+// pair and telemetry.
+func TestPropertyUncoreUserLimits(t *testing.T) {
+	spec := uarch.E52680v3()
+	f := func(minBin, maxBin uint8, active uint16, power uint8, stalls bool) bool {
+		p := New(DefaultConfig(spec, 0, 0))
+		min := uarch.MHz(12+minBin%19) * 100 // 1.2..3.0
+		max := uarch.MHz(12+maxBin%19) * 100
+		p.SetUncoreLimits(min, max)
+		if max < min {
+			max = min
+		}
+		now := sim.Time(0)
+		for i := 0; i < 10; i++ {
+			tel := arbitraryTelemetry(spec, active, 3, power, stalls)
+			dec := p.Tick(now, tel)
+			if dec.UncoreMHz != 0 && (dec.UncoreMHz < min || dec.UncoreMHz > max) {
+				return false
+			}
+			now += 500 * sim.Microsecond
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the PROCHOT controller's bins stay within [0, ladder span]
+// and recover once the temperature falls.
+func TestPropertyThermalBinsBounded(t *testing.T) {
+	spec := uarch.E52680v3()
+	p := New(DefaultConfig(spec, 0, 0))
+	tel := arbitraryTelemetry(spec, 0xFFFF, 0, 200, true)
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		tel.TempC = 120 // far over the trip point
+		p.Tick(now, tel)
+		now += 500 * sim.Microsecond
+		if p.ThermalBins() < 0 || p.ThermalBins() > int((spec.MaxTurboMHz()-spec.MinMHz)/spec.PStateStep) {
+			t.Fatalf("thermal bins out of range: %d", p.ThermalBins())
+		}
+	}
+	if p.ThermalBins() == 0 {
+		t.Fatal("no thermal throttle at 120 C")
+	}
+	for i := 0; i < 200; i++ {
+		tel.TempC = 60
+		p.Tick(now, tel)
+		now += 500 * sim.Microsecond
+	}
+	if p.ThermalBins() != 0 {
+		t.Fatalf("thermal bins did not recover: %d", p.ThermalBins())
+	}
+}

@@ -1,0 +1,262 @@
+// Package power implements the platform power model: per-core dynamic
+// power from voltage, frequency and achieved execution activity; leakage
+// with temperature feedback; uncore and DRAM power; package aggregation;
+// and the node-level AC domain behind the paper's LMG450 reference meter
+// (PSU losses, mainboard regulators, fans).
+//
+// The package power model is the physical ground truth of the
+// simulation: Haswell's measured RAPL reads it (nearly) directly, the
+// pre-Haswell modeled RAPL estimates it from event counts (and is
+// biased), and the PCU's TDP enforcement reacts to it.
+package power
+
+import (
+	"fmt"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+// CoreState is one core's instantaneous operating point for the power
+// computation.
+type CoreState struct {
+	FreqGHz float64
+	Volts   float64
+	// Activity is the workload switching-activity factor (0 if idle).
+	Activity float64
+	// AVXFrac is the 256-bit operation fraction (extra current draw).
+	AVXFrac float64
+	// IPCShare is achieved IPC relative to the kernel's maximum: dynamic
+	// power follows actual retirement throughput, so a memory-stalled or
+	// single-threaded core burns less than a fully fed one.
+	IPCShare float64
+	CState   cstate.State
+}
+
+// Breakdown itemizes one package's power.
+type Breakdown struct {
+	CoresDynamic float64
+	Leakage      float64
+	Uncore       float64
+	Static       float64
+}
+
+// Total returns the package (socket) power in watts.
+func (b Breakdown) Total() float64 {
+	return b.CoresDynamic + b.Leakage + b.Uncore + b.Static
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("pkg %.1f W (cores %.1f, leak %.1f, uncore %.1f, static %.1f)",
+		b.Total(), b.CoresDynamic, b.Leakage, b.Uncore, b.Static)
+}
+
+// PackageModel computes and integrates one socket's power.
+type PackageModel struct {
+	PM *uarch.PowerModel
+	// CeffScale models socket-to-socket silicon efficiency: >1 burns
+	// more for the same work (the paper's processor 0 sustains lower
+	// turbo than processor 1).
+	CeffScale float64
+	// AmbientC is the inlet temperature.
+	AmbientC float64
+
+	tempC float64 // current die temperature
+}
+
+// NewPackageModel builds the model with the die at ambient temperature.
+func NewPackageModel(pm *uarch.PowerModel, ceffScale, ambientC float64) *PackageModel {
+	if ceffScale <= 0 {
+		ceffScale = 1
+	}
+	return &PackageModel{PM: pm, CeffScale: ceffScale, AmbientC: ambientC, tempC: ambientC}
+}
+
+// TempC returns the present die temperature.
+func (p *PackageModel) TempC() float64 { return p.tempC }
+
+// effectiveActivity folds AVX current draw and achieved throughput into
+// the raw activity factor.
+func (p *PackageModel) effectiveActivity(c CoreState) float64 {
+	boost := 1 + (p.PM.AVXActivityBoost-1)*min(1, 2*c.AVXFrac)
+	share := c.IPCShare
+	if share <= 0 {
+		share = 1
+	}
+	return c.Activity * share * boost
+}
+
+// Compute returns the package power breakdown for the given core states
+// and uncore operating point at the current die temperature.
+func (p *PackageModel) Compute(cores []CoreState, uncoreGHz, uncoreVolts float64) Breakdown {
+	var b Breakdown
+	tempFactor := 1 + p.PM.LeakTempCoeff*(p.tempC-40)
+	if tempFactor < 0.5 {
+		tempFactor = 0.5
+	}
+	for _, c := range cores {
+		switch c.CState {
+		case cstate.C0:
+			b.CoresDynamic += p.PM.CeffCore * p.CeffScale * p.effectiveActivity(c) *
+				c.Volts * c.Volts * c.FreqGHz
+			b.Leakage += p.leak(c.Volts, tempFactor)
+		case cstate.C1:
+			// Clock-gated: no dynamic power, full leakage.
+			b.Leakage += p.leak(c.Volts, tempFactor)
+		case cstate.C3:
+			// PLL off, caches flushed: reduced leakage.
+			b.Leakage += 0.3 * p.leak(c.Volts, tempFactor)
+		case cstate.C6:
+			// Power-gated: nothing.
+		}
+	}
+	if uncoreGHz > 0 {
+		b.Uncore = p.PM.CeffUncore * p.CeffScale * uncoreVolts * uncoreVolts * uncoreGHz
+	}
+	b.Static = p.PM.PkgStatic
+	return b
+}
+
+func (p *PackageModel) leak(volts, tempFactor float64) float64 {
+	vr := volts / p.PM.VNom
+	return p.PM.LeakPerCore * vr * vr * tempFactor
+}
+
+// UpdateTemp advances the first-order thermal state for dt at the given
+// package power (time constant ~2 s; the paper's measurements are long
+// enough that steady state dominates).
+func (p *PackageModel) UpdateTemp(watts float64, dt sim.Time) {
+	steady := p.AmbientC + p.PM.ThermalResistance*watts
+	const tauNS = 2e9
+	alpha := float64(dt) / (float64(dt) + tauNS)
+	p.tempC += (steady - p.tempC) * alpha
+}
+
+// NodeConfig describes the AC power domain of a complete compute node:
+// everything between the wall socket and the RAPL domains.
+type NodeConfig struct {
+	Name string
+	// FixedPlatformW covers fans, mainboard, storage, NICs — constant
+	// during the paper's experiments (fans pinned at maximum).
+	FixedPlatformW float64
+	// ACQuad maps total DC draw to AC draw: AC = q0 + q1*DC + q2*DC^2
+	// (PSU conversion losses grow superlinearly with load, which is why
+	// the Figure 2b RAPL-vs-AC relation is quadratic).
+	ACQuad [3]float64
+}
+
+// HaswellNode returns the paper's bullx R421 E4 node model with fans at
+// maximum speed, calibrated against two anchor points: 261.5 W AC at
+// idle with both packages in PC6 (RAPL domains ~28 W, Table II) and
+// ~560 W under FIRESTARTER at dual TDP (RAPL ~258 W, Table V).
+func HaswellNode() NodeConfig {
+	return NodeConfig{
+		Name:           "bullx R421 E4 (2x E5-2680 v3), fans at maximum",
+		FixedPlatformW: 200,
+		ACQuad:         [3]float64{-14.2, 1.1652, 0.000193},
+	}
+}
+
+// SandyBridgeNode returns the earlier-generation comparison node (normal
+// fan policy, smaller fixed floor) used for the Figure 2a data.
+func SandyBridgeNode() NodeConfig {
+	return NodeConfig{
+		Name:           "2x E5-2670 node, normal fans",
+		FixedPlatformW: 70,
+		ACQuad:         [3]float64{5, 1.08, 0.0002},
+	}
+}
+
+// ACWatts converts the summed RAPL-domain DC power into wall power.
+func (n NodeConfig) ACWatts(raplDomainsW float64) float64 {
+	dc := raplDomainsW + n.FixedPlatformW
+	return n.ACQuad[0] + n.ACQuad[1]*dc + n.ACQuad[2]*dc*dc
+}
+
+// LMG450 models the ZES ZIMMER LMG450 4-channel power meter: 20 Sa/s AC
+// power samples with 0.07 % + 0.23 W accuracy.
+type LMG450 struct {
+	rng     *sim.RNG
+	samples []Sample
+}
+
+// Sample is one 50 ms meter reading.
+type Sample struct {
+	At sim.Time
+	W  float64
+}
+
+// SamplePeriod is the LMG450 reporting interval (20 Sa/s).
+const SamplePeriod = 50 * sim.Millisecond
+
+// NewLMG450 returns a meter with a deterministic noise stream.
+func NewLMG450(rng *sim.RNG) *LMG450 {
+	return &LMG450{rng: rng}
+}
+
+// Record stores one reading of the true AC power, applying the meter's
+// accuracy band.
+func (m *LMG450) Record(at sim.Time, trueWatts float64) {
+	noise := m.rng.Uniform(-1, 1) * (0.0007*trueWatts + 0.23)
+	m.samples = append(m.samples, Sample{At: at, W: trueWatts + noise})
+}
+
+// Samples returns all recorded readings.
+func (m *LMG450) Samples() []Sample { return m.samples }
+
+// Average returns the mean power over [from, to).
+func (m *LMG450) Average(from, to sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, s := range m.samples {
+		if s.At >= from && s.At < to {
+			sum += s.W
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxWindowAverage returns the highest mean power over any contiguous
+// full-length window of the given duration — the paper's "1 minute
+// interval with the highest average power consumption" extraction for
+// Table V. Recordings shorter than the window fall back to the overall
+// mean.
+func (m *LMG450) MaxWindowAverage(window sim.Time) float64 {
+	if len(m.samples) == 0 || window <= 0 {
+		return 0
+	}
+	best := 0.0
+	found := false
+	j := 0
+	sum := 0.0
+	for i := range m.samples {
+		sum += m.samples[i].W
+		for m.samples[i].At-m.samples[j].At >= window {
+			sum -= m.samples[j].W
+			j++
+		}
+		// Only full windows count: anything shorter would let a single
+		// hot sample at the start of the recording win.
+		if m.samples[i].At-m.samples[j].At >= window-SamplePeriod {
+			if avg := sum / float64(i-j+1); avg > best {
+				best = avg
+				found = true
+			}
+		}
+	}
+	if !found {
+		return m.Average(m.samples[0].At, m.samples[len(m.samples)-1].At+1)
+	}
+	return best
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package pstate
+
+import (
+	"testing"
+
+	"hswsim/internal/sim"
+	"hswsim/internal/uarch"
+)
+
+func newDomain() *Domain { return NewDomain(uarch.E52680v3()) }
+
+func TestRequestClamping(t *testing.T) {
+	d := newDomain()
+	if got := d.Request(800); got != 1200 {
+		t.Errorf("below-min request -> %v, want 1200", got)
+	}
+	if got := d.Request(2500); got != 2500 {
+		t.Errorf("base request -> %v", got)
+	}
+	if got := d.Request(3300); got != 2501 {
+		t.Errorf("turbo request -> %v, want turbo setting 2501", got)
+	}
+	if d.Requested() != 2501 {
+		t.Errorf("Requested = %v", d.Requested())
+	}
+}
+
+func TestTransitionLifecycle(t *testing.T) {
+	d := newDomain()
+	if d.Granted() != 1200 {
+		t.Fatalf("initial grant = %v", d.Granted())
+	}
+	if !d.Begin(100, 500, 1300, 21) {
+		t.Fatal("Begin returned false for a real change")
+	}
+	if tgt, ok := d.InFlight(); !ok || tgt != 1300 {
+		t.Fatalf("InFlight = %v,%v", tgt, ok)
+	}
+	// Too early: nothing happens.
+	if d.Complete(510) {
+		t.Fatal("completed before switch time")
+	}
+	if d.Granted() != 1200 {
+		t.Fatal("granted changed early")
+	}
+	if !d.Complete(521) {
+		t.Fatal("did not complete at switch end")
+	}
+	if d.Granted() != 1300 {
+		t.Fatalf("granted = %v, want 1300", d.Granted())
+	}
+	tr, ok := d.LastTransition()
+	if !ok {
+		t.Fatal("no transition recorded")
+	}
+	if tr.Latency() != 421 {
+		t.Errorf("latency = %v, want 421 (request 100 -> complete 521)", tr.Latency())
+	}
+	if tr.SwitchTime() != 21 {
+		t.Errorf("switch time = %v, want 21", tr.SwitchTime())
+	}
+	if tr.From != 1200 || tr.To != 1300 {
+		t.Errorf("transition %v -> %v", tr.From, tr.To)
+	}
+}
+
+func TestBeginNoOpForSameFrequency(t *testing.T) {
+	d := newDomain()
+	if d.Begin(0, 0, 1200, 21) {
+		t.Fatal("transition to current frequency should be a no-op")
+	}
+	if len(d.Transitions()) != 0 {
+		t.Fatal("no-op logged a transition")
+	}
+}
+
+func TestIncompleteTransitionsNotListed(t *testing.T) {
+	d := newDomain()
+	d.Begin(0, 0, 2000, 21)
+	if len(d.Transitions()) != 0 {
+		t.Fatal("in-flight transition listed as completed")
+	}
+	if _, ok := d.LastTransition(); ok {
+		t.Fatal("LastTransition returned an incomplete transition")
+	}
+	d.Complete(21)
+	if len(d.Transitions()) != 1 {
+		t.Fatal("completed transition missing")
+	}
+}
+
+func TestTransitionLogBounded(t *testing.T) {
+	d := newDomain()
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		target := uarch.MHz(1200 + 100*(i%2+1)) // alternate 1300/1400
+		d.Begin(now, now, target, 10)
+		now += 20
+		d.Complete(now)
+		now += 20
+	}
+	if n := len(d.Transitions()); n > 4096 {
+		t.Fatalf("transition log grew unbounded: %d", n)
+	}
+}
+
+func TestCompletionTime(t *testing.T) {
+	d := newDomain()
+	if _, ok := d.CompletionTime(); ok {
+		t.Fatal("no transition should be in flight initially")
+	}
+	d.Begin(0, 100, 1500, 25)
+	at, ok := d.CompletionTime()
+	if !ok || at != 125 {
+		t.Fatalf("CompletionTime = %v,%v want 125,true", at, ok)
+	}
+}

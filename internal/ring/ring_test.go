@@ -1,0 +1,162 @@
+package ring
+
+import "testing"
+
+func TestForDieLayouts(t *testing.T) {
+	cases := []struct {
+		die        int
+		partitions int
+		sizes      []int
+		channels   int
+	}{
+		{8, 1, []int{8}, 4},
+		{12, 2, []int{8, 4}, 4},
+		{18, 2, []int{8, 10}, 4},
+	}
+	for _, c := range cases {
+		top, err := ForDie(c.die)
+		if err != nil {
+			t.Fatalf("ForDie(%d): %v", c.die, err)
+		}
+		if len(top.Partitions) != c.partitions {
+			t.Errorf("die %d: %d partitions, want %d", c.die, len(top.Partitions), c.partitions)
+		}
+		for i, want := range c.sizes {
+			if got := len(top.Partitions[i].CoreIDs); got != want {
+				t.Errorf("die %d partition %d: %d cores, want %d", c.die, i, got, want)
+			}
+		}
+		if top.Cores() != c.die {
+			t.Errorf("die %d: Cores() = %d", c.die, top.Cores())
+		}
+		if top.Channels() != c.channels {
+			t.Errorf("die %d: %d channels, want %d (4 DDR channels per package)", c.die, top.Channels(), c.channels)
+		}
+		// Every partition on a multi-partition die has its own IMC
+		// serving two channels (Figure 1).
+		if c.partitions > 1 {
+			for _, p := range top.Partitions {
+				if !p.IMC || p.Channels != 2 {
+					t.Errorf("die %d partition %d: IMC=%v channels=%d, want IMC with 2 channels", c.die, p.Index, p.IMC, p.Channels)
+				}
+			}
+		}
+	}
+}
+
+func TestForDieUnknown(t *testing.T) {
+	if _, err := ForDie(10); err == nil {
+		t.Fatal("ForDie(10) should fail: 10-core SKUs use the 12-core die")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	top, _ := ForDie(12)
+	if p := top.PartitionOf(0); p != 0 {
+		t.Errorf("core 0 in partition %d, want 0", p)
+	}
+	if p := top.PartitionOf(7); p != 0 {
+		t.Errorf("core 7 in partition %d, want 0", p)
+	}
+	if p := top.PartitionOf(8); p != 1 {
+		t.Errorf("core 8 in partition %d, want 1", p)
+	}
+	if p := top.PartitionOf(99); p != -1 {
+		t.Errorf("unknown core in partition %d, want -1", p)
+	}
+}
+
+func TestCrossPartitionCostsMore(t *testing.T) {
+	top, _ := ForDie(12)
+	// A core on the small partition sees a higher average L3 hop cost
+	// than one on the large partition would pay within itself, because
+	// 8/12 of the slices are across the queue.
+	withinLarge := top.HopsWithin(0) * top.HopUncoreCycles
+	avgSmall := top.AvgL3HopCycles(8)
+	if avgSmall <= withinLarge {
+		t.Errorf("cross-partition average %v should exceed within-partition %v", avgSmall, withinLarge)
+	}
+	// Single-ring die: no queue penalty anywhere.
+	top8, _ := ForDie(8)
+	if got, want := top8.AvgL3HopCycles(3), top8.HopsWithin(0)*top8.HopUncoreCycles; got != want {
+		t.Errorf("8-core die L3 hops = %v, want %v", got, want)
+	}
+}
+
+func TestAvgIMCHops(t *testing.T) {
+	top, _ := ForDie(18)
+	// Memory interleaves over both IMCs: a core always pays the queue
+	// for the remote half of its accesses.
+	c0 := top.AvgIMCHopCycles(0)
+	c17 := top.AvgIMCHopCycles(17)
+	if c0 <= 0 || c17 <= 0 {
+		t.Fatalf("IMC hop costs must be positive, got %v, %v", c0, c17)
+	}
+	// Both partitions have 2 of 4 channels; expected costs include one
+	// queue crossing with probability 1/2.
+	if c0 >= top.QueueLatencyUncoreCycles+10 {
+		t.Errorf("IMC cost %v unreasonably high", c0)
+	}
+}
+
+func TestHopsWithin(t *testing.T) {
+	top, _ := ForDie(8)
+	if h := top.HopsWithin(0); h != 2 {
+		t.Errorf("8-stop bidirectional ring expected distance = %v, want 2", h)
+	}
+}
+
+func TestDisabledCoreMask(t *testing.T) {
+	top, _ := ForDie(12)
+	mask, err := top.DisabledCoreMask(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled := 0
+	for _, d := range mask {
+		if d {
+			disabled++
+		}
+	}
+	if disabled != 2 {
+		t.Fatalf("disabled %d cores, want 2", disabled)
+	}
+	// Full-die SKU disables nothing.
+	mask, err = top.DisabledCoreMask(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range mask {
+		if d {
+			t.Fatalf("core %d disabled on full-die SKU", i)
+		}
+	}
+	if _, err := top.DisabledCoreMask(0); err == nil {
+		t.Fatal("enabling 0 cores should fail")
+	}
+	if _, err := top.DisabledCoreMask(13); err == nil {
+		t.Fatal("enabling 13 of 12 cores should fail")
+	}
+}
+
+func TestDisabledCoreMaskBalances(t *testing.T) {
+	top, _ := ForDie(18)
+	mask, err := top.DisabledCoreMask(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 18 -> 14: the 10-core partition should lose more than the 8-core
+	// partition (balanced binning).
+	lost := []int{0, 0}
+	for c, d := range mask {
+		if d {
+			lost[top.PartitionOf(c)]++
+		}
+	}
+	if lost[0]+lost[1] != 4 {
+		t.Fatalf("lost %v cores total, want 4", lost)
+	}
+	if lost[1] < lost[0] {
+		t.Errorf("larger partition lost %d, smaller lost %d; want balance", lost[1], lost[0])
+	}
+}

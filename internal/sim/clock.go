@@ -1,0 +1,54 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every experiment in hswsim.
+//
+// All platform components (cores, the PCU, power meters, measurement tools)
+// share one virtual clock with nanosecond resolution. Virtual time only
+// advances when the engine dispatches the next scheduled event, so runs are
+// bit-for-bit reproducible: there is no dependency on wall-clock time, OS
+// scheduling, or host load. This is the property that makes microbenchmark
+// reproduction viable where native runs would drown in runtime jitter.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is a distinct type so that virtual timestamps cannot be
+// confused with wall-clock readings.
+type Time int64
+
+// Common virtual durations, mirroring the time package for readability.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// FromDuration converts a time.Duration into virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts virtual time into a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a floating point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as a floating point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// String formats the virtual timestamp with automatic unit selection.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/1e3)
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/1e9)
+	}
+}

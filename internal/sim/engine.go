@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a closure scheduled to run at a point in virtual time. The engine
+// passes the current virtual time (the event's due time) to the callback.
+type Event func(now Time)
+
+// scheduled is an entry in the event queue. seq breaks ties between events
+// scheduled for the same instant so dispatch order is insertion order,
+// keeping runs deterministic.
+type scheduled struct {
+	at    Time
+	seq   uint64
+	fn    Event
+	index int // heap index, -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ s *scheduled }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*q)
+	*q = append(*q, s)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*q = old[:n-1]
+	return s
+}
+
+// Engine is a deterministic discrete-event scheduler over virtual time.
+// It is not safe for concurrent use; simulations are single-goroutine by
+// design so that identical inputs always produce identical traces.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	// Stepped is invoked after every dispatched event; nil by default.
+	// Probes (power integrators, trace writers) may hook it.
+	Stepped func(now Time)
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn Event) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, s)
+	return EventID{s}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn Event) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-dispatched or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.s == nil || id.s.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, id.s.index)
+	id.s.index = -1
+	return true
+}
+
+// Every schedules fn to run at t, t+period, t+2*period, ... until the
+// returned stop function is called. fn itself runs before the next
+// occurrence is scheduled, so fn may stop the series from within.
+func (e *Engine) Every(start, period Time, fn Event) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var tick Event
+	var pending EventID
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			pending = e.At(now+period, tick)
+		}
+	}
+	pending = e.At(start, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}
+
+// Step dispatches the single next event, advancing the clock to its due
+// time. It reports false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	s := heap.Pop(&e.queue).(*scheduled)
+	if s.at < e.now {
+		panic("sim: event queue corrupted (time went backwards)")
+	}
+	e.now = s.at
+	s.fn(e.now)
+	if e.Stepped != nil {
+		e.Stepped(e.now)
+	}
+	return true
+}
+
+// RunUntil dispatches events until the clock reaches t (events due exactly
+// at t are dispatched) or the queue drains, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	e.now = t
+}
+
+// Run dispatches events for d of virtual time from now.
+func (e *Engine) Run(d Time) {
+	e.RunUntil(e.now + d)
+}
+
+// Drain dispatches events until the queue is empty or limit events have
+// run, returning the number dispatched. A limit <= 0 means no limit.
+func (e *Engine) Drain(limit int) int {
+	n := 0
+	for (limit <= 0 || n < limit) && e.Step() {
+		n++
+	}
+	return n
+}

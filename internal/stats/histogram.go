@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates samples into fixed-width bins over [Lo, Hi).
+// Samples outside the range are counted in the under/overflow bins so no
+// observation is silently dropped — important when characterizing latency
+// distributions whose tails are the finding (Figure 3).
+type Histogram struct {
+	Lo, Hi    float64
+	Bins      []int
+	Underflow int
+	Overflow  int
+	n         int
+	sum       float64
+	samples   []float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics on a non-positive bin count or an empty range.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	h.samples = append(h.samples, x)
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if idx == len(h.Bins) { // guard against float rounding at the edge
+			idx--
+		}
+		h.Bins[idx]++
+	}
+}
+
+// Count returns the total number of samples recorded (including
+// under/overflow).
+func (h *Histogram) Count() int { return h.n }
+
+// Mean returns the mean of all recorded samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// Median returns the median of all recorded samples.
+func (h *Histogram) Median() float64 { return Median(h.samples) }
+
+// Quantile returns the q-quantile of all recorded samples.
+func (h *Histogram) Quantile(q float64) float64 { return Quantile(h.samples, q) }
+
+// Min and Max return the extreme recorded samples.
+func (h *Histogram) Min() float64 { lo, _ := MinMax(h.samples); return lo }
+func (h *Histogram) Max() float64 { _, hi := MinMax(h.samples); return hi }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// ModeBin returns the index of the fullest bin.
+func (h *Histogram) ModeBin() int {
+	best := 0
+	for i, c := range h.Bins {
+		if c > h.Bins[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Peaks returns the indices of local maxima whose count is at least
+// minFrac of the total sample count — a crude multimodality detector used
+// to verify the bimodal latency classes in Figure 3.
+func (h *Histogram) Peaks(minFrac float64) []int {
+	var peaks []int
+	min := int(minFrac * float64(h.n))
+	for i, c := range h.Bins {
+		if c < min || c == 0 {
+			continue
+		}
+		leftOK := i == 0 || h.Bins[i-1] <= c
+		rightOK := i == len(h.Bins)-1 || h.Bins[i+1] <= c
+		// Skip plateau duplicates: only count the first bin of a plateau.
+		if i > 0 && h.Bins[i-1] == c {
+			continue
+		}
+		if leftOK && rightOK {
+			peaks = append(peaks, i)
+		}
+	}
+	return peaks
+}
+
+// MassIn returns the fraction of samples falling inside [lo, hi).
+func (h *Histogram) MassIn(lo, hi float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	c := 0
+	for _, s := range h.samples {
+		if s >= lo && s < hi {
+			c++
+		}
+	}
+	return float64(c) / float64(h.n)
+}
+
+// Render draws the histogram as rows of '#' marks, width columns at the
+// fullest bin, for the text reports the cmd tools emit.
+func (h *Histogram) Render(width int, unit string) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0
+	for _, c := range h.Bins {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, c := range h.Bins {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "%10.1f-%-10.1f %s |%s %d\n",
+			h.Lo+w*float64(i), h.Lo+w*float64(i+1), unit,
+			strings.Repeat("#", bar), c)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "%21s |%d below range\n", "", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "%21s |%d above range\n", "", h.Overflow)
+	}
+	return b.String()
+}

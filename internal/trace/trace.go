@@ -1,0 +1,173 @@
+// Package trace records platform events — frequency grants, c-state
+// movements, uncore changes, AVX mode flips, power-limit updates — into
+// a bounded ring buffer for post-mortem inspection, the simulator's
+// stand-in for hardware tracing facilities.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"hswsim/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	PStateRequest Kind = iota
+	PStateGrant
+	PStateComplete
+	CStateEnter
+	CStateExit
+	UncoreChange
+	AVXEnter
+	AVXExit
+	PkgCStateChange
+	PowerLimit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PStateRequest:
+		return "pstate-request"
+	case PStateGrant:
+		return "pstate-grant"
+	case PStateComplete:
+		return "pstate-complete"
+	case CStateEnter:
+		return "cstate-enter"
+	case CStateExit:
+		return "cstate-exit"
+	case UncoreChange:
+		return "uncore-change"
+	case AVXEnter:
+		return "avx-enter"
+	case AVXExit:
+		return "avx-exit"
+	case PkgCStateChange:
+		return "pkg-cstate"
+	case PowerLimit:
+		return "power-limit"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Socket int
+	CPU    int // -1 for socket-scoped events
+	Detail string
+}
+
+func (e Event) String() string {
+	where := fmt.Sprintf("s%d", e.Socket)
+	if e.CPU >= 0 {
+		where = fmt.Sprintf("s%d/cpu%d", e.Socket, e.CPU)
+	}
+	return fmt.Sprintf("%12v %-16s %-10s %s", e.At, e.Kind, where, e.Detail)
+}
+
+// Buffer is a bounded event recorder. A nil *Buffer is a valid no-op
+// recorder, so call sites need no guards.
+type Buffer struct {
+	events []Event
+	next   int
+	full   bool
+	cap    int
+	// Filter, when non-nil, drops events for which it returns false.
+	Filter func(Event) bool
+}
+
+// New creates a ring buffer holding up to capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Buffer{events: make([]Event, capacity), cap: capacity}
+}
+
+// Emit records an event (no-op on a nil buffer).
+func (b *Buffer) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if b.Filter != nil && !b.Filter(e) {
+		return
+	}
+	b.events[b.next] = e
+	b.next++
+	if b.next == b.cap {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// Emitf formats and records an event.
+func (b *Buffer) Emitf(at sim.Time, k Kind, socket, cpu int, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{At: at, Kind: k, Socket: socket, CPU: cpu,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of stored events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	if b.full {
+		return b.cap
+	}
+	return b.next
+}
+
+// Events returns the stored events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if !b.full {
+		out := make([]Event, b.next)
+		copy(out, b.events[:b.next])
+		return out
+	}
+	out := make([]Event, 0, b.cap)
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// Tail returns the most recent n events.
+func (b *Buffer) Tail(n int) []Event {
+	ev := b.Events()
+	if n < len(ev) {
+		ev = ev[len(ev)-n:]
+	}
+	return ev
+}
+
+// OfKind filters the stored events by kind.
+func (b *Buffer) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render formats the most recent n events as text.
+func (b *Buffer) Render(n int) string {
+	var sb strings.Builder
+	for _, e := range b.Tail(n) {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hswsim/internal/sim"
+)
+
+func TestNilBufferIsNoOp(t *testing.T) {
+	var b *Buffer
+	b.Emit(Event{})                         // must not panic
+	b.Emitf(0, PStateGrant, 0, 0, "x%d", 1) // must not panic
+	if b.Len() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer should be empty")
+	}
+}
+
+func TestRingOrdering(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 6; i++ {
+		b.Emit(Event{At: sim.Time(i), Kind: PStateGrant})
+	}
+	ev := b.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.At != sim.Time(i+2) {
+			t.Fatalf("events out of order: %v", ev)
+		}
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestTailAndOfKind(t *testing.T) {
+	b := New(16)
+	b.Emitf(1, PStateGrant, 0, 3, "a")
+	b.Emitf(2, UncoreChange, 1, -1, "b")
+	b.Emitf(3, PStateGrant, 0, 3, "c")
+	if got := b.Tail(2); len(got) != 2 || got[1].Detail != "c" {
+		t.Fatalf("Tail = %v", got)
+	}
+	if got := b.OfKind(PStateGrant); len(got) != 2 {
+		t.Fatalf("OfKind = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(16)
+	b.Filter = func(e Event) bool { return e.Kind == UncoreChange }
+	b.Emitf(1, PStateGrant, 0, 0, "drop")
+	b.Emitf(2, UncoreChange, 0, -1, "keep")
+	if b.Len() != 1 || b.Events()[0].Detail != "keep" {
+		t.Fatalf("filter failed: %v", b.Events())
+	}
+}
+
+func TestRenderAndStringers(t *testing.T) {
+	b := New(8)
+	b.Emitf(1500, CStateEnter, 1, 13, "C6 (idle)")
+	out := b.Render(10)
+	for _, want := range []string{"cstate-enter", "s1/cpu13", "C6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Socket-scoped event renders without a cpu.
+	e := Event{At: 1, Kind: UncoreChange, Socket: 0, CPU: -1, Detail: "x"}
+	if strings.Contains(e.String(), "cpu") {
+		t.Errorf("socket event mentions a cpu: %s", e.String())
+	}
+	for k := PStateRequest; k <= PowerLimit+1; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty kind string for %d", int(k))
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 5000; i++ {
+		b.Emit(Event{At: sim.Time(i)})
+	}
+	if b.Len() != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", b.Len())
+	}
+}

@@ -1,0 +1,47 @@
+package uarch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MarshalSpec serializes a Spec to indented JSON — the interchange
+// format for user-defined parts.
+func MarshalSpec(s *Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// UnmarshalSpec parses and validates a Spec from JSON. Unknown fields
+// are rejected so typos in hand-written part files surface loudly.
+func UnmarshalSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("uarch: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SaveSpec writes a spec file.
+func SaveSpec(path string, s *Spec) error {
+	data, err := MarshalSpec(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSpec reads and validates a spec file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalSpec(data)
+}

@@ -1,0 +1,71 @@
+package uarch
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := E52680v3()
+	data, err := MarshalSpec(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "part.json")
+	if err := SaveSpec(path, E52699v3()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != "Intel Xeon E5-2699 v3" || back.Cores != 18 {
+		t.Fatalf("loaded %s with %d cores", back.Model, back.Cores)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	// Unknown fields surface as errors (typo protection).
+	if _, err := UnmarshalSpec([]byte(`{"Model":"x","Coers":12}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Structurally valid but semantically broken specs are rejected by
+	// Validate.
+	data, err := MarshalSpec(E52680v3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(string(data), `"Cores": 12`, `"Cores": 0`, 1)
+	if broken == string(data) {
+		t.Fatal("test setup: Cores field not found")
+	}
+	if _, err := UnmarshalSpec([]byte(broken)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	// Garbage.
+	if _, err := UnmarshalSpec([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if !os.IsNotExist(os.ErrNotExist) {
+		t.Skip()
+	}
+}

@@ -1,0 +1,84 @@
+package uarch
+
+// Additional Haswell-EP SKUs covering the other two die layouts of
+// Figure 1: an 8-core part cut from the single-ring die and the
+// 18-core flagship on the dual-ring (8+10) die. Frequency ladders and
+// TDPs follow the published SKU tables; the uncore maps extrapolate the
+// E5-2680 v3 policy (Table III was only measured on that part).
+
+// E52630v3 returns the 8-core, 85 W Xeon E5-2630 v3 (single-ring die).
+func E52630v3() *Spec {
+	s := E52680v3()
+	s.Model = "Intel Xeon E5-2630 v3"
+	s.Cores = 8
+	s.DiesCores = 8
+	s.BaseMHz = 2400
+	s.TurboLadder = []MHz{3200, 3200, 3100, 3000, 2900, 2900, 2900, 2900}
+	s.AVXLadder = []MHz{3000, 3000, 2900, 2800, 2700, 2700, 2700, 2700}
+	s.AVXBaseMHz = 2000
+	s.Power.TDP = 85
+	// Fewer cores share the same DDR4 interface; the memory model is
+	// unchanged except for per-core slice count (derived from Cores).
+	s.UncoreMapActive = deriveUncoreMap(s, 0)
+	s.UncoreMapPassive = deriveUncoreMap(s, 100)
+	return s
+}
+
+// E52699v3 returns the 18-core, 145 W Xeon E5-2699 v3 (8+10 dual-ring
+// die).
+func E52699v3() *Spec {
+	s := E52680v3()
+	s.Model = "Intel Xeon E5-2699 v3"
+	s.Cores = 18
+	s.DiesCores = 18
+	s.BaseMHz = 2300
+	s.TurboLadder = ladder(18, 3600, []MHz{3600, 3600, 3400, 3300, 3200, 3100, 3000, 2900, 2800}, 2800)
+	s.AVXLadder = ladder(18, 3400, []MHz{3400, 3400, 3200, 3100, 3000, 2900, 2800, 2700, 2600}, 2600)
+	s.AVXBaseMHz = 1900
+	s.Power.TDP = 145
+	s.UncoreMapActive = deriveUncoreMap(s, 0)
+	s.UncoreMapPassive = deriveUncoreMap(s, 100)
+	return s
+}
+
+// ladder expands a prefix of per-core-count turbo bins to n entries,
+// clamping the tail at floor.
+func ladder(n int, _ MHz, prefix []MHz, floor MHz) []MHz {
+	out := make([]MHz, n)
+	for i := range out {
+		if i < len(prefix) {
+			out[i] = prefix[i]
+		} else {
+			out[i] = floor
+		}
+	}
+	return out
+}
+
+// deriveUncoreMap extrapolates the Table III operating points to a SKU
+// with a different p-state range: the uncore runs ~300 MHz below the
+// core setting at the top of the range, converging to the 1.2 GHz floor
+// at the bottom, with the turbo setting mapped to the uncore maximum.
+func deriveUncoreMap(s *Spec, passiveOffset MHz) map[MHz]MHz {
+	m := make(map[MHz]MHz)
+	for _, f := range s.PStates() {
+		var delta MHz
+		switch {
+		case f >= 2100:
+			delta = 300
+		case f >= 1900:
+			delta = 250
+		case f >= 1500:
+			delta = 200
+		default:
+			delta = f - s.UncoreMinMHz
+		}
+		u := f - delta - passiveOffset
+		if u < s.UncoreMinMHz {
+			u = s.UncoreMinMHz
+		}
+		m[f] = u
+	}
+	m[s.TurboSettingMHz()] = s.UncoreMaxMHz - passiveOffset/2
+	return m
+}

@@ -1,0 +1,340 @@
+// Package uarch is the microarchitecture catalog: the static description
+// of each processor generation the paper discusses — Haswell-EP (the
+// subject), Sandy Bridge-EP and Westmere-EP (the comparison baselines).
+//
+// A Spec carries three kinds of data:
+//
+//   - Table I parameters (decode width, ROB entries, FLOPS/cycle, ...)
+//     reproduced verbatim from the paper for the comparison table;
+//   - frequency architecture: p-state range, non-AVX and AVX turbo
+//     ladders, uncore frequency range and the reverse-engineered uncore
+//     frequency map of Table III;
+//   - calibration constants for the power and memory performance models
+//     (effective capacitances, V/f curve, latency components), chosen so
+//     the simulated platform lands on the paper's published magnitudes.
+package uarch
+
+import "fmt"
+
+// MHz expresses frequencies in integral megahertz, the natural unit for
+// p-state bins (100 MHz granularity on all modeled parts).
+type MHz int
+
+// GHz returns the frequency in gigahertz as a float.
+func (f MHz) GHz() float64 { return float64(f) / 1000 }
+
+func (f MHz) String() string { return fmt.Sprintf("%.2f GHz", f.GHz()) }
+
+// Generation identifies a modeled processor generation.
+type Generation int
+
+const (
+	HaswellEP Generation = iota
+	SandyBridgeEP
+	WestmereEP
+)
+
+func (g Generation) String() string {
+	switch g {
+	case HaswellEP:
+		return "Haswell-EP"
+	case SandyBridgeEP:
+		return "Sandy Bridge-EP"
+	case WestmereEP:
+		return "Westmere-EP"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// UncorePolicy describes how the uncore clock is controlled — the key
+// generational difference behind Figure 7.
+type UncorePolicy int
+
+const (
+	// UncoreScaling: independent uncore frequency set by the PCU from
+	// stall cycles, EPB and core frequencies (Haswell-EP UFS).
+	UncoreScaling UncorePolicy = iota
+	// UncoreCoupled: uncore runs at the common core clock
+	// (Sandy Bridge-EP, Ivy Bridge-EP).
+	UncoreCoupled
+	// UncoreFixed: uncore runs at a fixed frequency regardless of core
+	// clocks (Nehalem-EP, Westmere-EP).
+	UncoreFixed
+)
+
+func (p UncorePolicy) String() string {
+	switch p {
+	case UncoreScaling:
+		return "UFS (independent, hardware-controlled)"
+	case UncoreCoupled:
+		return "coupled to core clock"
+	case UncoreFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("UncorePolicy(%d)", int(p))
+	}
+}
+
+// RAPLMode distinguishes the two RAPL implementations the paper compares.
+type RAPLMode int
+
+const (
+	// RAPLModeled: pre-Haswell event-counter based energy *model* with
+	// workload-dependent bias (Figure 2a).
+	RAPLModeled RAPLMode = iota
+	// RAPLMeasured: Haswell FIVR-based actual current measurement
+	// (Figure 2b).
+	RAPLMeasured
+)
+
+func (m RAPLMode) String() string {
+	if m == RAPLMeasured {
+		return "measured (FIVR)"
+	}
+	return "modeled (event-based)"
+}
+
+// TableI holds the microarchitectural comparison parameters of the
+// paper's Table I.
+type TableI struct {
+	DecodeWidth       string // x86 instructions per cycle
+	AllocationQueue   string
+	ExecuteUopsCycle  int
+	RetireUopsCycle   int
+	SchedulerEntries  int
+	ROBEntries        int
+	IntRegisters      int
+	FPRegisters       int
+	SIMDISA           string
+	FPUWidth          string
+	FlopsPerCycleFP64 int
+	LoadBuffers       int
+	StoreBuffers      int
+	L1DLoadBytesCycle int // per load port
+	L1DLoadPorts      int
+	L1DStoreBytes     int
+	L2BytesPerCycle   int
+	SupportedMemory   string
+	DRAMBandwidthGBs  float64
+	QPISpeedGTs       float64
+}
+
+// CacheGeometry describes the on-die cache hierarchy.
+type CacheGeometry struct {
+	L1DBytes       int // per core
+	L2Bytes        int // per core
+	L3BytesPerCore int
+	LineBytes      int
+}
+
+// MemoryModel holds the latency/parallelism constants of the analytic
+// bandwidth model (see internal/cache). Latencies are split into a
+// component clocked by the core, a component clocked by the uncore, and a
+// fixed DRAM component, which is what produces the generation-specific
+// frequency sensitivities of Figures 7 and 8.
+type MemoryModel struct {
+	L3CoreCycles        float64 // core-clocked cycles per L3 line transfer path
+	L3UncoreCycles      float64 // uncore-clocked cycles per L3 line
+	MemCoreCycles       float64 // core-clocked cycles on a DRAM access path
+	MemUncoreCycles     float64 // uncore-clocked cycles on a DRAM access path
+	MemDRAMNanos        float64 // fixed DRAM device latency (ns)
+	LFBPerCore          int     // line-fill buffers: per-core miss parallelism
+	MLPPerThread        int     // per-thread sustainable outstanding misses
+	PrefetchLines       float64 // extra in-flight lines the HW prefetchers add per core
+	DDRPeakGBs          float64 // channel peak bandwidth (all channels)
+	DDRStreamEff        float64 // achievable fraction of peak for streaming reads
+	UncoreBytesPerCycle float64 // ring/L3 aggregate bytes per uncore cycle per core pair
+	// MemGBsPerUncoreGHz is the uncore-clocked transfer limit of the
+	// DRAM path (home agents + ring): total DRAM bandwidth cannot exceed
+	// this value times the uncore frequency. On coupled-uncore parts
+	// this is what collapses memory bandwidth at low core clocks.
+	MemGBsPerUncoreGHz float64
+	// QPI cross-socket path: achievable remote-read bandwidth per
+	// socket and the latency added over a local DRAM access.
+	QPIGBs        float64
+	QPIExtraNanos float64
+}
+
+// PowerModel holds the calibration constants for the platform power
+// model (see internal/power). The constants are per-socket.
+type PowerModel struct {
+	// Voltage curve: V(f) = VMin + VSlope*(f-FMin in GHz), clamped at VMax.
+	VMin, VMax   float64
+	VSlopePerGHz float64
+	// Dynamic power: P = CeffCore * activity * V^2 * f(GHz) per core, watts.
+	CeffCore float64
+	// AVX execution adds current draw: multiplier on activity when the
+	// workload issues 256-bit ops (the reason AVX frequencies exist).
+	AVXActivityBoost float64
+	// Uncore dynamic power: P = CeffUncore * V^2 * fu(GHz).
+	CeffUncore float64
+	// Leakage per core at nominal voltage/temperature, and its voltage
+	// sensitivity exponent: Pleak = LeakPerCore * (V/VNom)^2 * tempFactor.
+	LeakPerCore float64
+	VNom        float64
+	// Package static power (fabric, IMC, IO) independent of activity.
+	PkgStatic float64
+	// DRAM: static per DIMM plus energy per byte transferred.
+	DRAMStaticPerDIMM    float64
+	DRAMPicoJoulePerByte float64
+	// Thermal: deg C per watt above ambient (steady state), and leakage
+	// temperature coefficient per deg C.
+	ThermalResistance float64
+	LeakTempCoeff     float64
+	TDP               float64 // package power limit, watts
+}
+
+// Spec is the complete static description of one processor model.
+type Spec struct {
+	Generation     Generation
+	Model          string
+	Cores          int
+	ThreadsPerCore int
+	DiesCores      int // core slots on the die this SKU is cut from
+
+	BaseMHz     MHz
+	MinMHz      MHz
+	PStateStep  MHz
+	TurboLadder []MHz // index = active cores - 1, non-AVX
+	AVXLadder   []MHz // index = active cores - 1; nil if no AVX frequencies
+	AVXBaseMHz  MHz   // guaranteed all-core AVX frequency; 0 if N/A
+
+	UncoreMinMHz MHz
+	UncoreMaxMHz MHz
+	UncorePolicy UncorePolicy
+	// UncoreMapActive / UncoreMapPassive: the reverse-engineered
+	// Haswell-EP UFS operating points for a no-memory-stall scenario
+	// (paper Table III), keyed by the core frequency setting of the
+	// fastest active core. Only meaningful with UncoreScaling.
+	UncoreMapActive  map[MHz]MHz
+	UncoreMapPassive map[MHz]MHz
+
+	RAPLMode RAPLMode
+	// RAPLDRAMSupported reports whether the DRAM RAPL domain exists
+	// (absent on pre-Haswell desktop parts; present on -EP parts).
+	RAPLDRAMSupported bool
+	// PP0Supported: core power plane domain (not supported on Haswell-EP).
+	PP0Supported bool
+
+	TableI TableI
+	Cache  CacheGeometry
+	Mem    MemoryModel
+	Power  PowerModel
+
+	// PStateGridPeriod is the PCU frequency-transition opportunity
+	// period (Section VI / Figure 4): ~500us on Haswell-EP, 0 meaning
+	// "immediate" on earlier generations and Haswell-HE.
+	PStateGridPeriodUS float64
+	// PStateSwitchUS is the raw switching time once a transition is
+	// granted (voltage ramp + relock).
+	PStateSwitchUS float64
+	// EETPollPeriodUS: energy-efficient turbo stall-polling period.
+	EETPollPeriodUS float64
+	// AVXRelaxUS: time after the last 256-bit op before the PCU returns
+	// to non-AVX operating mode (1 ms per the paper).
+	AVXRelaxUS float64
+}
+
+// TurboSettingMHz is the pseudo p-state that requests opportunistic turbo
+// operation (by convention base+1 MHz, mirroring the cpufreq interface the
+// paper's tools drive). It is also the key for the turbo row of the
+// uncore frequency maps.
+func (s *Spec) TurboSettingMHz() MHz { return s.BaseMHz + 1 }
+
+// PStates returns the selectable p-state frequencies, ascending
+// (MinMHz..BaseMHz in PStateStep increments).
+func (s *Spec) PStates() []MHz {
+	var ps []MHz
+	for f := s.MinMHz; f <= s.BaseMHz; f += s.PStateStep {
+		ps = append(ps, f)
+	}
+	return ps
+}
+
+// MaxTurboMHz returns the single-core maximum turbo frequency.
+func (s *Spec) MaxTurboMHz() MHz {
+	if len(s.TurboLadder) == 0 {
+		return s.BaseMHz
+	}
+	return s.TurboLadder[0]
+}
+
+// TurboLimit returns the maximum opportunistic frequency for the given
+// number of active cores with or without AVX activity. Active counts
+// beyond the ladder clamp to the all-core entry.
+func (s *Spec) TurboLimit(activeCores int, avx bool) MHz {
+	ladder := s.TurboLadder
+	if avx && s.AVXLadder != nil {
+		ladder = s.AVXLadder
+	}
+	if len(ladder) == 0 {
+		return s.BaseMHz
+	}
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	if activeCores > len(ladder) {
+		activeCores = len(ladder)
+	}
+	return ladder[activeCores-1]
+}
+
+// GuaranteedMHz returns the frequency floor the part guarantees for the
+// workload class: AVX base under heavy 256-bit use, nominal base
+// otherwise. On Haswell-EP every frequency above AVX base — including
+// nominal — is opportunistic (Section II-F).
+func (s *Spec) GuaranteedMHz(avx bool) MHz {
+	if avx && s.AVXBaseMHz != 0 {
+		return s.AVXBaseMHz
+	}
+	if s.AVXBaseMHz != 0 {
+		// Non-AVX code is still only guaranteed AVX base on Haswell-EP:
+		// nominal frequency is opportunistic under TDP limits.
+		return s.AVXBaseMHz
+	}
+	return s.BaseMHz
+}
+
+// L3Bytes returns the total last-level cache size for this SKU.
+func (s *Spec) L3Bytes() int { return s.Cache.L3BytesPerCore * s.Cores }
+
+// Validate checks internal consistency of a Spec; the catalog entries
+// are validated by tests, user-constructed specs by NewSystem.
+func (s *Spec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("uarch: %s: no cores", s.Model)
+	}
+	if s.MinMHz > s.BaseMHz {
+		return fmt.Errorf("uarch: %s: min p-state %v above base %v", s.Model, s.MinMHz, s.BaseMHz)
+	}
+	if s.PStateStep <= 0 {
+		return fmt.Errorf("uarch: %s: non-positive p-state step", s.Model)
+	}
+	if len(s.TurboLadder) > 0 && len(s.TurboLadder) < s.Cores {
+		return fmt.Errorf("uarch: %s: turbo ladder shorter than core count", s.Model)
+	}
+	for i := 1; i < len(s.TurboLadder); i++ {
+		if s.TurboLadder[i] > s.TurboLadder[i-1] {
+			return fmt.Errorf("uarch: %s: turbo ladder not monotone at %d", s.Model, i)
+		}
+	}
+	for i := 1; i < len(s.AVXLadder); i++ {
+		if s.AVXLadder[i] > s.AVXLadder[i-1] {
+			return fmt.Errorf("uarch: %s: AVX ladder not monotone at %d", s.Model, i)
+		}
+	}
+	if s.AVXBaseMHz != 0 && s.AVXBaseMHz > s.BaseMHz {
+		return fmt.Errorf("uarch: %s: AVX base above nominal base", s.Model)
+	}
+	if s.UncoreMinMHz > s.UncoreMaxMHz {
+		return fmt.Errorf("uarch: %s: uncore min above max", s.Model)
+	}
+	if s.Power.TDP <= 0 {
+		return fmt.Errorf("uarch: %s: non-positive TDP", s.Model)
+	}
+	if s.UncorePolicy == UncoreScaling && len(s.UncoreMapActive) == 0 {
+		return fmt.Errorf("uarch: %s: UFS without uncore map", s.Model)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package uarch
+
+import "testing"
+
+func TestCatalogValidates(t *testing.T) {
+	for _, s := range []*Spec{E52680v3(), E52670SNB(), X5670WSM()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Model, err)
+		}
+	}
+}
+
+func TestE52680v3MatchesPaperTableII(t *testing.T) {
+	s := E52680v3()
+	if s.Cores != 12 {
+		t.Errorf("cores = %d, want 12", s.Cores)
+	}
+	if s.MinMHz != 1200 || s.BaseMHz != 2500 {
+		t.Errorf("selectable p-states %v-%v, want 1.2-2.5 GHz", s.MinMHz, s.BaseMHz)
+	}
+	if s.MaxTurboMHz() != 3300 {
+		t.Errorf("max turbo = %v, want 3.3 GHz", s.MaxTurboMHz())
+	}
+	if s.AVXBaseMHz != 2100 {
+		t.Errorf("AVX base = %v, want 2.1 GHz", s.AVXBaseMHz)
+	}
+	if s.Power.TDP != 120 {
+		t.Errorf("TDP = %v, want 120 W", s.Power.TDP)
+	}
+	if s.RAPLMode != RAPLMeasured {
+		t.Errorf("RAPL mode = %v, want measured", s.RAPLMode)
+	}
+	if s.PP0Supported {
+		t.Errorf("PP0 must not be supported on Haswell-EP")
+	}
+	if s.L3Bytes() != 30*1024*1024 {
+		t.Errorf("L3 = %d bytes, want 30 MiB", s.L3Bytes())
+	}
+}
+
+func TestPStatesEnumeration(t *testing.T) {
+	s := E52680v3()
+	ps := s.PStates()
+	if len(ps) != 14 {
+		t.Fatalf("p-state count = %d, want 14 (1.2..2.5 GHz)", len(ps))
+	}
+	if ps[0] != 1200 || ps[len(ps)-1] != 2500 {
+		t.Fatalf("p-states = %v..%v, want 1200..2500", ps[0], ps[len(ps)-1])
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i]-ps[i-1] != 100 {
+			t.Fatalf("p-state step at %d = %v, want 100", i, ps[i]-ps[i-1])
+		}
+	}
+}
+
+func TestAVXTurboRange(t *testing.T) {
+	s := E52680v3()
+	// "The AVX turbo frequencies are between 2.8 and 3.1 GHz, depending
+	// on the number of active cores" (Section II-F).
+	for n := 1; n <= s.Cores; n++ {
+		f := s.TurboLimit(n, true)
+		if f < 2800 || f > 3100 {
+			t.Errorf("AVX turbo at %d active cores = %v, want within [2.8, 3.1] GHz", n, f)
+		}
+	}
+	if s.TurboLimit(s.Cores, true) != 2800 {
+		t.Errorf("AVX max all core turbo = %v, want 2.8 GHz", s.TurboLimit(s.Cores, true))
+	}
+}
+
+func TestTurboLimitClamping(t *testing.T) {
+	s := E52680v3()
+	if got := s.TurboLimit(0, false); got != s.TurboLadder[0] {
+		t.Errorf("TurboLimit(0) = %v, want single-core entry", got)
+	}
+	if got := s.TurboLimit(99, false); got != s.TurboLadder[len(s.TurboLadder)-1] {
+		t.Errorf("TurboLimit(99) = %v, want all-core entry", got)
+	}
+	// Generations without a ladder fall back to base.
+	w := X5670WSM()
+	w.TurboLadder = nil
+	if got := w.TurboLimit(1, false); got != w.BaseMHz {
+		t.Errorf("no-ladder TurboLimit = %v, want base", got)
+	}
+}
+
+func TestGuaranteedFrequency(t *testing.T) {
+	h := E52680v3()
+	// On Haswell-EP everything above AVX base is opportunistic, for AVX
+	// and non-AVX code alike (Section II-F).
+	if g := h.GuaranteedMHz(true); g != 2100 {
+		t.Errorf("guaranteed AVX = %v, want 2.1 GHz", g)
+	}
+	if g := h.GuaranteedMHz(false); g != 2100 {
+		t.Errorf("guaranteed non-AVX = %v, want 2.1 GHz (nominal is opportunistic)", g)
+	}
+	snb := E52670SNB()
+	if g := snb.GuaranteedMHz(false); g != snb.BaseMHz {
+		t.Errorf("SNB guaranteed = %v, want nominal base", g)
+	}
+}
+
+func TestUncoreMapsCoverAllSettings(t *testing.T) {
+	s := E52680v3()
+	keys := append([]MHz{s.TurboSettingMHz()}, s.PStates()...)
+	for _, k := range keys {
+		a, okA := s.UncoreMapActive[k]
+		p, okP := s.UncoreMapPassive[k]
+		if !okA || !okP {
+			t.Errorf("uncore map missing setting %v (active %v passive %v)", k, okA, okP)
+			continue
+		}
+		if a < s.UncoreMinMHz || a > s.UncoreMaxMHz {
+			t.Errorf("active uncore for %v = %v out of range", k, a)
+		}
+		if p > a {
+			t.Errorf("passive uncore %v above active %v for setting %v", p, a, k)
+		}
+	}
+}
+
+func TestUncoreMapMatchesPaperTable3(t *testing.T) {
+	s := E52680v3()
+	// Spot checks against Table III.
+	checks := map[MHz]MHz{2500: 2200, 2300: 2000, 2000: 1750, 1900: 1650, 1500: 1300, 1200: 1200}
+	for set, want := range checks {
+		if got := s.UncoreMapActive[set]; got != want {
+			t.Errorf("active uncore at %v = %v, want %v", set, got, want)
+		}
+	}
+	if got := s.UncoreMapActive[s.TurboSettingMHz()]; got != 3000 {
+		t.Errorf("active uncore at turbo = %v, want 3.0 GHz", got)
+	}
+	if got := s.UncoreMapPassive[1600]; got != 1200 {
+		t.Errorf("passive uncore at 1.6 = %v, want 1.2 GHz", got)
+	}
+}
+
+func TestTableIComparison(t *testing.T) {
+	h, s := E52680v3().TableI, E52670SNB().TableI
+	if h.FlopsPerCycleFP64 != 2*s.FlopsPerCycleFP64 {
+		t.Errorf("FLOPS/cycle HSW=%d SNB=%d, want exactly doubled", h.FlopsPerCycleFP64, s.FlopsPerCycleFP64)
+	}
+	if h.L2BytesPerCycle != 2*s.L2BytesPerCycle {
+		t.Errorf("L2 bytes/cycle HSW=%d SNB=%d, want doubled", h.L2BytesPerCycle, s.L2BytesPerCycle)
+	}
+	if h.ROBEntries != 192 || s.ROBEntries != 168 {
+		t.Errorf("ROB entries = %d/%d, want 192/168", h.ROBEntries, s.ROBEntries)
+	}
+	if h.ExecuteUopsCycle != 8 || s.ExecuteUopsCycle != 6 {
+		t.Errorf("execute uops = %d/%d, want 8/6", h.ExecuteUopsCycle, s.ExecuteUopsCycle)
+	}
+	if h.DRAMBandwidthGBs != 68.2 || s.DRAMBandwidthGBs != 51.2 {
+		t.Errorf("DRAM bw = %v/%v, want 68.2/51.2", h.DRAMBandwidthGBs, s.DRAMBandwidthGBs)
+	}
+}
+
+func TestGenerationPolicies(t *testing.T) {
+	if E52680v3().UncorePolicy != UncoreScaling {
+		t.Error("Haswell-EP must use UFS")
+	}
+	if E52670SNB().UncorePolicy != UncoreCoupled {
+		t.Error("Sandy Bridge-EP must couple uncore to core clock")
+	}
+	if X5670WSM().UncorePolicy != UncoreFixed {
+		t.Error("Westmere-EP must use a fixed uncore clock")
+	}
+	if E52680v3().PStateGridPeriodUS != 500 {
+		t.Error("Haswell-EP p-state grid must be 500us")
+	}
+	if E52670SNB().PStateGridPeriodUS != 0 {
+		t.Error("Sandy Bridge-EP p-state transitions must be immediate")
+	}
+}
+
+func TestHaswellEPDieFor(t *testing.T) {
+	cases := []struct {
+		cores, die int
+		ok         bool
+	}{
+		{4, 8, true}, {6, 8, true}, {8, 8, true},
+		{10, 12, true}, {12, 12, true},
+		{14, 18, true}, {16, 18, true}, {18, 18, true},
+		{2, 0, false}, {11, 0, false}, {20, 0, false},
+	}
+	for _, c := range cases {
+		die, ok := HaswellEPDieFor(c.cores)
+		if die != c.die || ok != c.ok {
+			t.Errorf("HaswellEPDieFor(%d) = %d,%v want %d,%v", c.cores, die, ok, c.die, c.ok)
+		}
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	bad := func(mutate func(*Spec)) error {
+		s := E52680v3()
+		mutate(s)
+		return s.Validate()
+	}
+	if err := bad(func(s *Spec) { s.Cores = 0 }); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if err := bad(func(s *Spec) { s.MinMHz = 3000 }); err == nil {
+		t.Error("min above base accepted")
+	}
+	if err := bad(func(s *Spec) { s.TurboLadder = []MHz{2000, 3000} }); err == nil {
+		t.Error("non-monotone turbo ladder accepted")
+	}
+	if err := bad(func(s *Spec) { s.AVXBaseMHz = 2600 }); err == nil {
+		t.Error("AVX base above nominal accepted")
+	}
+	if err := bad(func(s *Spec) { s.Power.TDP = 0 }); err == nil {
+		t.Error("zero TDP accepted")
+	}
+	if err := bad(func(s *Spec) { s.UncoreMapActive = nil }); err == nil {
+		t.Error("UFS without a map accepted")
+	}
+	if err := bad(func(s *Spec) { s.TurboLadder = []MHz{3300} }); err == nil {
+		t.Error("short turbo ladder accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MHz(2500).String() != "2.50 GHz" {
+		t.Errorf("MHz string = %q", MHz(2500).String())
+	}
+	if HaswellEP.String() != "Haswell-EP" || SandyBridgeEP.String() != "Sandy Bridge-EP" {
+		t.Error("generation stringer wrong")
+	}
+	if UncoreFixed.String() == "" || RAPLMeasured.String() == "" {
+		t.Error("empty stringer output")
+	}
+	if Generation(99).String() == "" || UncorePolicy(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+// Archetypal HPC kernels beyond the paper's benchmark set, for use with
+// the governor/scheduler layers: each represents a familiar class of
+// scientific code with a distinct position in the compute/bandwidth/
+// latency space.
+
+// CG models a sparse conjugate-gradient solver: indirect accesses with
+// limited memory-level parallelism — partially latency-bound, the class
+// that benefits least from either wider SIMD or more bandwidth.
+func CG() Kernel {
+	return Static("cg (sparse solver)", Profile{
+		IPC1: 1.1, IPC2: 1.5, AVXFrac: 0.15, Activity: 0.45,
+		L3BytesPerInst: 1.2, MemBytesPerInst: 2.4,
+		MLPOverride: 4,
+	})
+}
+
+// FFT models a cache-blocked fast Fourier transform: AVX-heavy with
+// strided L3 traffic.
+func FFT() Kernel {
+	return Static("fft", Profile{
+		IPC1: 2.2, IPC2: 2.5, AVXFrac: 0.55, Activity: 0.80,
+		L3BytesPerInst: 1.5, MemBytesPerInst: 0.3,
+		UncoreSens: 0.15, UncoreRefGHz: 3.0,
+	})
+}
+
+// Jacobi models a stencil sweep: streaming DRAM traffic with a light
+// FP core — the textbook bandwidth-bound HPC kernel.
+func Jacobi() Kernel {
+	return Static("jacobi (stencil)", Profile{
+		IPC1: 1.8, IPC2: 2.2, AVXFrac: 0.35, Activity: 0.55,
+		MemBytesPerInst: 6,
+	})
+}
+
+// MonteCarlo models branchy scalar compute with a thread-private
+// working set: no shared-resource pressure at all.
+func MonteCarlo() Kernel {
+	return Static("monte carlo", Profile{
+		IPC1: 1.9, IPC2: 2.4, Activity: 0.62,
+	})
+}
+
+// HPCKernels returns the archetype set.
+func HPCKernels() []Kernel {
+	return []Kernel{CG(), FFT(), Jacobi(), MonteCarlo()}
+}

@@ -1,0 +1,31 @@
+package hswsim
+
+import (
+	"hswsim/internal/sched"
+	"hswsim/internal/uarch"
+)
+
+// Task is a unit of scheduled work: a kernel run for a fixed
+// instruction budget.
+type Task = sched.Task
+
+// TaskResult records a completed task's timeline.
+type TaskResult = sched.Result
+
+// SchedPolicy selects the p-state and idle behaviour for scheduled work.
+type SchedPolicy = sched.Policy
+
+// Scheduler dispatches tasks over a CPU set with a policy, sleeping
+// idle cores through a (measured-table) idle governor.
+type Scheduler = sched.Scheduler
+
+// RaceToIdlePolicy runs tasks at turbo and sleeps deeply in between.
+func RaceToIdlePolicy() SchedPolicy { return sched.RaceToIdle() }
+
+// PacePolicy runs tasks at a fixed p-state.
+func PacePolicy(f MHz) SchedPolicy { return sched.Pace(uarch.MHz(f)) }
+
+// NewScheduler attaches a scheduler to the given CPUs.
+func NewScheduler(sys *System, cpus []int, p SchedPolicy) *Scheduler {
+	return sched.New(sys, cpus, p)
+}
