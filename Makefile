@@ -1,0 +1,32 @@
+# hswsim build/test entry points. Everything is standard-library Go;
+# there is nothing to configure.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-snapshot ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench: one iteration of every benchmark — a smoke test that the
+# benchmark harnesses still run, not a measurement.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-snapshot: full measurement, refreshes BENCH_sim.json.
+bench-snapshot:
+	scripts/bench_snapshot.sh
+
+# ci: the full gate — vet, race-enabled tests, benchmark smoke.
+ci: vet race bench

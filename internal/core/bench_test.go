@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"hswsim/internal/sim"
+	"hswsim/internal/workload"
+)
+
+// benchSystem builds the default dual-socket node with a steady mixed
+// load: the configuration every experiment's measurement loop runs in.
+func benchSystem(b *testing.B) *System {
+	b.Helper()
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range []struct {
+		cpu     int
+		k       workload.Kernel
+		threads int
+	}{
+		{0, workload.Firestarter(), 2},
+		{1, workload.Compute(), 1},
+		{2, workload.Memory(), 2},
+		{13, workload.BusyWait(), 1},
+	} {
+		if err := sys.AssignKernel(a.cpu, a.k, a.threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Let transients (p-state ramps, package-state settling) decay so
+	// the timed region is pure steady state.
+	sys.Run(20 * sim.Millisecond)
+	return sys
+}
+
+// BenchmarkSystemRunSteadyState measures one millisecond of virtual
+// time under constant load: PCU grid ticks, meter samples and the
+// per-segment power integration with no operating-point changes.
+func BenchmarkSystemRunSteadyState(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(sim.Millisecond)
+	}
+}
+
+// BenchmarkSystemRunIdle measures the all-idle platform (both packages
+// in deep sleep): the floor every idle-power measurement pays.
+func BenchmarkSystemRunIdle(b *testing.B) {
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(20 * sim.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(sim.Millisecond)
+	}
+}
+
+// BenchmarkSystemPStateChurn measures integration with frequent
+// operating-point changes (governor-style p-state flapping): the
+// worst case for change-driven integration, guarding against fast-path
+// bookkeeping slowing the dirty path down.
+func BenchmarkSystemPStateChurn(b *testing.B) {
+	sys := benchSystem(b)
+	spec := sys.Spec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := spec.MinMHz
+		if i%2 == 0 {
+			f = spec.BaseMHz
+		}
+		if err := sys.SetPState(1, f); err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(sim.Millisecond)
+	}
+}

@@ -38,6 +38,10 @@ type Core struct {
 
 	lastStall float64
 	lastRate  float64
+	// lastSD is the AVX-ramp slowdown folded into lastRate; the steady
+	// integration path re-checks it each segment because it drifts with
+	// time rather than with an event.
+	lastSD float64
 
 	lastRequestAt sim.Time
 
@@ -75,6 +79,7 @@ func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
 	c.kernStart = now
 	c.threads = threads
 	c.profCacheOK = false
+	c.sk.markDirty()
 	if k == nil {
 		c.cstateNow = c.sk.sys.cfg.IdleState
 		c.sk.sys.trace.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v (idle)", c.cstateNow)
@@ -170,6 +175,9 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 		return
 	}
 	switchTime := c.reg.SetFrequency(target)
+	// The regulator voltage moved: the operating point for the next
+	// segment changed even before the new clock lands.
+	c.sk.markDirty()
 	if c.dom.Begin(requestedAt, now, target, switchTime) {
 		c.lastRequestAt = 0
 		c.sk.sys.trace.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
@@ -178,6 +186,7 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 		c.sk.sys.Engine.At(completion, func(t sim.Time) {
 			c.sk.sys.integrateTo(t)
 			if c.dom.Complete(t) {
+				c.sk.markDirty()
 				c.sk.sys.trace.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
 					"now %v", c.dom.Granted())
 			}

@@ -158,12 +158,7 @@ func NewSystem(cfg Config) (*System, error) {
 	for _, sk := range s.sockets {
 		sk.scheduleNextTick(sk.pcuPhase)
 	}
-	s.Engine.Every(power.SamplePeriod, power.SamplePeriod, func(now sim.Time) {
-		s.integrateTo(now)
-		dt := power.SamplePeriod.Seconds()
-		s.meter.Record(now, s.acJoules/dt)
-		s.acJoules = 0
-	})
+	s.Engine.Every(power.SamplePeriod, power.SamplePeriod, s.meterTick)
 	// Prime the integrator and resolve initial package states (all
 	// cores idle: both packages sink into deep package sleep).
 	s.refreshPackageStates()
@@ -226,6 +221,19 @@ func (s *System) Run(d sim.Time) {
 func (s *System) RunUntil(t sim.Time) {
 	s.Engine.RunUntil(t)
 	s.integrateTo(t)
+}
+
+// meterTick is the LMG450 sample event: one persistent periodic timer
+// that doubles as the platform's integration heartbeat. Integration and
+// metering are coalesced — the same integrateTo pass that closes the
+// 50 ms sample window also advances counters, energy and thermal state,
+// so steady phases cost exactly one (usually memo-replayed) segment per
+// sample.
+func (s *System) meterTick(now sim.Time) {
+	s.integrateTo(now)
+	dt := power.SamplePeriod.Seconds()
+	s.meter.Record(now, s.acJoules/dt)
+	s.acJoules = 0
 }
 
 // integrateTo advances all continuous state (counters, energy, thermal)
@@ -341,6 +349,9 @@ func (s *System) refreshPackageStates() {
 		if next != sk.pkgCState {
 			s.trace.Emitf(now, trace.PkgCStateChange, sk.Index, -1,
 				"%v -> %v", sk.pkgCState, next)
+			// Package state gates the uncore clock: the memoized
+			// operating point no longer holds.
+			sk.markDirty()
 		}
 		if cstate.UncoreHalted(sk.pkgCState) && !cstate.UncoreHalted(next) {
 			// The package is being pulled out of deep sleep (e.g. a

@@ -26,6 +26,7 @@ func (s *System) SleepCore(cpu int, st cstate.State) error {
 	}
 	s.integrateTo(s.Engine.Now())
 	c.cstateNow = st
+	c.sk.markDirty()
 	s.refreshPackageStates()
 	return nil
 }

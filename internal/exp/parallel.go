@@ -1,16 +1,27 @@
 package exp
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// parallelWorkers overrides the worker count when positive (test seam:
+// 1 forces a serial run for determinism comparisons).
+var parallelWorkers = 0
 
 // parallelMap runs fn over items on a bounded worker pool and returns
 // results in input order. Each item builds and runs its own independent
 // simulated platform, so parallelism does not affect determinism — only
-// wall-clock time. The first error wins.
+// wall-clock time. Once any item fails, no further items are started
+// (in-flight ones finish); all errors that did occur are returned
+// joined, so callers see every failure, not just the first.
 func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 	workers := runtime.GOMAXPROCS(0)
+	if parallelWorkers > 0 {
+		workers = parallelWorkers
+	}
 	if workers > len(items) {
 		workers = len(items)
 	}
@@ -19,6 +30,7 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 	}
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -26,19 +38,22 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = fn(items[i])
+				if results[i], errs[i] = fn(items[i]); errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	for i := range items {
+		if failed.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

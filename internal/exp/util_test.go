@@ -2,6 +2,7 @@ package exp
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -113,6 +114,68 @@ func TestFig1Render(t *testing.T) {
 	for _, want := range []string{"12-core die", "18-core die", "8-core + 10-core", "IMC", "buffered queues"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig1 render missing %q", want)
+		}
+	}
+}
+
+// TestParallelMapShortCircuit: after an item fails, undispatched items
+// must not start, and every error that did occur is reported.
+func TestParallelMapShortCircuit(t *testing.T) {
+	parallelWorkers = 1
+	defer func() { parallelWorkers = 0 }()
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	e3 := errors.New("e3")
+	e4 := errors.New("e4")
+	var started []int
+	_, err := parallelMap(items, func(x int) (int, error) {
+		started = append(started, x)
+		switch x {
+		case 3:
+			return 0, e3
+		case 4:
+			return 0, e4
+		}
+		return x, nil
+	})
+	if !errors.Is(err, e3) {
+		t.Fatalf("first error lost: %v", err)
+	}
+	// With one serial worker the failure at item 3 stops feeding; the
+	// channel handshake allows at most one already-queued item after it.
+	if len(started) > 5 {
+		t.Fatalf("short-circuit did not stop feeding: started %v", started)
+	}
+	for _, x := range started {
+		if x == 4 && !errors.Is(err, e4) {
+			t.Fatalf("error from started item 4 dropped: %v", err)
+		}
+	}
+}
+
+// TestSerialVsParallelByteIdentical: running the experiment harness on
+// one worker must reproduce the parallel run byte for byte — parallelism
+// only affects wall-clock time, never results.
+func TestSerialVsParallelByteIdentical(t *testing.T) {
+	par, parIdle, err := Table3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelWorkers = 1
+	defer func() { parallelWorkers = 0 }()
+	ser, serIdle, err := Table3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fmt.Sprintf("%#v", parIdle), fmt.Sprintf("%#v", serIdle); a != b {
+		t.Fatalf("idle row diverged: %s vs %s", a, b)
+	}
+	if len(par) != len(ser) {
+		t.Fatalf("row counts differ: %d vs %d", len(par), len(ser))
+	}
+	for i := range par {
+		a, b := fmt.Sprintf("%#v", par[i]), fmt.Sprintf("%#v", ser[i])
+		if a != b {
+			t.Fatalf("row %d diverged:\n parallel: %s\n serial:   %s", i, a, b)
 		}
 	}
 }

@@ -152,12 +152,14 @@ func quantize(f uarch.MHz, spec *uarch.Spec) uarch.MHz {
 // Runner samples the platform periodically and applies a governor to a
 // CPU set.
 type Runner struct {
-	sys      *core.System
-	gov      Governor
-	cpus     []int
-	period   sim.Time
-	last     map[int]perfctr.Snapshot
-	decision map[int]uarch.MHz
+	sys    *core.System
+	gov    Governor
+	cpus   []int
+	period sim.Time
+	// last and decision are indexed parallel to cpus (the sampling loop
+	// is a hot path under short periods; slices keep it map-free).
+	last     []perfctr.Snapshot
+	decision []uarch.MHz
 	stop     func()
 	// Transitions counts the p-state requests the governor issued.
 	Transitions int
@@ -171,16 +173,16 @@ func NewRunner(sys *core.System, gov Governor, cpus []int, period sim.Time) *Run
 	}
 	r := &Runner{
 		sys: sys, gov: gov, cpus: cpus, period: period,
-		last:     map[int]perfctr.Snapshot{},
-		decision: map[int]uarch.MHz{},
+		last:     make([]perfctr.Snapshot, len(cpus)),
+		decision: make([]uarch.MHz, len(cpus)),
 	}
 	return r
 }
 
 // Start arms the sampling loop.
 func (r *Runner) Start() {
-	for _, cpu := range r.cpus {
-		r.last[cpu] = r.sys.Core(cpu).Snapshot()
+	for i, cpu := range r.cpus {
+		r.last[i] = r.sys.Core(cpu).Snapshot()
 	}
 	r.stop = r.sys.Engine.Every(r.sys.Now()+r.period, r.period, func(now sim.Time) {
 		r.step()
@@ -197,18 +199,18 @@ func (r *Runner) Stop() {
 
 func (r *Runner) step() {
 	spec := r.sys.Spec()
-	for _, cpu := range r.cpus {
+	for i, cpu := range r.cpus {
 		snap := r.sys.Core(cpu).Snapshot()
-		iv := perfctr.Delta(r.last[cpu], snap)
-		r.last[cpu] = snap
-		cur := r.decision[cpu]
+		iv := perfctr.Delta(r.last[i], snap)
+		r.last[i] = snap
+		cur := r.decision[i]
 		if cur == 0 {
 			cur = spec.BaseMHz
 		}
 		next := r.gov.Decide(cpu, iv, cur, spec)
 		if next != 0 && next != cur {
 			if err := r.sys.SetPState(cpu, next); err == nil {
-				r.decision[cpu] = next
+				r.decision[i] = next
 				r.Transitions++
 			}
 		}

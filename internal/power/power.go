@@ -63,6 +63,9 @@ type PackageModel struct {
 	AmbientC float64
 
 	tempC float64 // current die temperature
+	// scratch backs Compute's memo so plain Compute calls stay
+	// allocation-free after the first.
+	scratch ComputeMemo
 }
 
 // NewPackageModel builds the model with the die at ambient temperature.
@@ -87,40 +90,118 @@ func (p *PackageModel) effectiveActivity(c CoreState) float64 {
 	return c.Activity * share * boost
 }
 
+// ComputeMemo caches the temperature-independent decomposition of one
+// Compute call so that steady-state integration segments can advance
+// the breakdown without re-deriving the operating point (Replay). Only
+// leakage depends on die temperature, so the memo keeps per-core
+// leakage bases (everything but the temperature factor) in core order;
+// Replay folds the current temperature back in with exactly the
+// arithmetic Compute would use, keeping replayed segments bit-for-bit
+// identical to recomputed ones — the determinism contract of the
+// change-driven integrator.
+type ComputeMemo struct {
+	coresDynamic float64
+	uncore       float64
+	static       float64
+	// leakBase[i] is core i's leakage at tempFactor 1; leakScale[i] is
+	// the c-state multiplier (1 for C0/C1, 0.3 for C3, 0 for C6).
+	leakBase  []float64
+	leakScale []float64
+}
+
+// tempFactor returns the leakage temperature multiplier at the present
+// die temperature.
+func (p *PackageModel) tempFactor() float64 {
+	tf := 1 + p.PM.LeakTempCoeff*(p.tempC-40)
+	if tf < 0.5 {
+		tf = 0.5
+	}
+	return tf
+}
+
 // Compute returns the package power breakdown for the given core states
 // and uncore operating point at the current die temperature.
 func (p *PackageModel) Compute(cores []CoreState, uncoreGHz, uncoreVolts float64) Breakdown {
+	return p.ComputeMemoized(&p.scratch, cores, uncoreGHz, uncoreVolts)
+}
+
+// ComputeMemoized is Compute, additionally recording the breakdown's
+// temperature-independent parts into memo so later segments at the same
+// operating point can be advanced with Replay. The memo's slices are
+// reused across calls.
+func (p *PackageModel) ComputeMemoized(memo *ComputeMemo, cores []CoreState, uncoreGHz, uncoreVolts float64) Breakdown {
 	var b Breakdown
-	tempFactor := 1 + p.PM.LeakTempCoeff*(p.tempC-40)
-	if tempFactor < 0.5 {
-		tempFactor = 0.5
+	tempFactor := p.tempFactor()
+	if cap(memo.leakBase) < len(cores) {
+		memo.leakBase = make([]float64, len(cores))
+		memo.leakScale = make([]float64, len(cores))
 	}
-	for _, c := range cores {
+	memo.leakBase = memo.leakBase[:len(cores)]
+	memo.leakScale = memo.leakScale[:len(cores)]
+	memo.coresDynamic = 0
+	for i, c := range cores {
+		base, scale := 0.0, 0.0
 		switch c.CState {
 		case cstate.C0:
 			b.CoresDynamic += p.PM.CeffCore * p.CeffScale * p.effectiveActivity(c) *
 				c.Volts * c.Volts * c.FreqGHz
-			b.Leakage += p.leak(c.Volts, tempFactor)
+			base, scale = p.leakBase(c.Volts), 1
+			b.Leakage += base * tempFactor
 		case cstate.C1:
 			// Clock-gated: no dynamic power, full leakage.
-			b.Leakage += p.leak(c.Volts, tempFactor)
+			base, scale = p.leakBase(c.Volts), 1
+			b.Leakage += base * tempFactor
 		case cstate.C3:
 			// PLL off, caches flushed: reduced leakage.
-			b.Leakage += 0.3 * p.leak(c.Volts, tempFactor)
+			base, scale = p.leakBase(c.Volts), 0.3
+			b.Leakage += 0.3 * (base * tempFactor)
 		case cstate.C6:
 			// Power-gated: nothing.
 		}
+		memo.leakBase[i] = base
+		memo.leakScale[i] = scale
 	}
 	if uncoreGHz > 0 {
 		b.Uncore = p.PM.CeffUncore * p.CeffScale * uncoreVolts * uncoreVolts * uncoreGHz
 	}
 	b.Static = p.PM.PkgStatic
+	memo.coresDynamic = b.CoresDynamic
+	memo.uncore = b.Uncore
+	memo.static = b.Static
 	return b
 }
 
-func (p *PackageModel) leak(volts, tempFactor float64) float64 {
+// Replay returns the breakdown for the memoized operating point at the
+// present die temperature, without touching per-core state: only the
+// leakage terms are re-scaled by the current temperature factor. The
+// result is bit-for-bit what ComputeMemoized would return for the same
+// (unchanged) inputs.
+func (p *PackageModel) Replay(memo *ComputeMemo) Breakdown {
+	tempFactor := p.tempFactor()
+	b := Breakdown{
+		CoresDynamic: memo.coresDynamic,
+		Uncore:       memo.uncore,
+		Static:       memo.static,
+	}
+	for i, base := range memo.leakBase {
+		switch memo.leakScale[i] {
+		case 1:
+			b.Leakage += base * tempFactor
+		case 0.3:
+			b.Leakage += 0.3 * (base * tempFactor)
+		}
+	}
+	return b
+}
+
+// leakBase is one core's leakage at temperature factor 1.
+func (p *PackageModel) leakBase(volts float64) float64 {
 	vr := volts / p.PM.VNom
-	return p.PM.LeakPerCore * vr * vr * tempFactor
+	return p.PM.LeakPerCore * vr * vr
+}
+
+func (p *PackageModel) leak(volts, tempFactor float64) float64 {
+	return p.leakBase(volts) * tempFactor
 }
 
 // UpdateTemp advances the first-order thermal state for dt at the given

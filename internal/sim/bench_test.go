@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineAtDispatch measures raw one-shot schedule+dispatch
+// churn: the At/Step path every platform event pays.
+func BenchmarkEngineAtDispatch(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+10, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineAfterChain measures a self-rescheduling event chain
+// (the PCU grid-tick pattern: each dispatch schedules its successor).
+func BenchmarkEngineAfterChain(b *testing.B) {
+	e := NewEngine()
+	var tick Event
+	tick = func(Time) { e.After(500, tick) }
+	e.After(500, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineEveryTick measures the periodic-timer hot path: one
+// Every series driven tick by tick, the meter/governor steady state.
+func BenchmarkEngineEveryTick(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	e.Every(0, 100, func(Time) { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	if n != b.N {
+		b.Fatalf("ticks = %d, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineEveryRunUntil measures many concurrent periodic timers
+// advanced through RunUntil — the full steady-state dispatch loop with
+// same-timestamp batches (all series share phase and period).
+func BenchmarkEngineEveryRunUntil(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 16; i++ {
+		e.Every(0, 100, func(Time) { n++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(100)
+	}
+}
+
+// BenchmarkEngineMixedQueue measures dispatch with a populated queue:
+// events percolate through a heap holding many pending entries.
+func BenchmarkEngineMixedQueue(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	for i := 0; i < 1024; i++ {
+		e.At(Time(1e12)+Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+10, fn)
+		e.Step()
+	}
+}

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a closure scheduled to run at a point in virtual time. The engine
 // passes the current virtual time (the event's due time) to the callback.
@@ -12,44 +9,91 @@ type Event func(now Time)
 // scheduled is an entry in the event queue. seq breaks ties between events
 // scheduled for the same instant so dispatch order is insertion order,
 // keeping runs deterministic.
+//
+// Entries are pooled on the engine's free list: once dispatched or
+// cancelled they are recycled into later schedule calls, so the
+// steady-state dispatch loop allocates nothing. gen is bumped on every
+// recycle so a stale EventID can never touch an entry's next life.
+// Periodic timers (Every) are intrusive: period > 0 marks an entry that
+// re-arms itself after each dispatch instead of allocating a successor.
 type scheduled struct {
-	at    Time
-	seq   uint64
-	fn    Event
-	index int // heap index, -1 once popped or cancelled
+	at     Time
+	seq    uint64
+	fn     Event
+	index  int    // heap index; -1 once popped/cancelled, -2 claimed in a dispatch batch
+	gen    uint64 // incremented each time the entry returns to the pool
+	period Time   // > 0: persistent periodic timer (Every)
+	// stopped marks a periodic series whose stop function ran while its
+	// tick was in flight; the dispatcher retires the entry instead of
+	// re-arming it.
+	stopped bool
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ s *scheduled }
+// claimed marks an entry popped from the heap into the current
+// same-timestamp dispatch batch but not yet run. Cancel and periodic
+// stop functions use it to retire batch members before they fire.
+const claimed = -2
 
-// eventQueue implements heap.Interface ordered by (at, seq).
+// EventID identifies a scheduled event so it can be cancelled. IDs are
+// generation-stamped: once the event has dispatched (or been cancelled)
+// the ID goes stale and Cancel on it is a harmless no-op, even if the
+// engine has recycled the underlying entry for a new event.
+type EventID struct {
+	s   *scheduled
+	gen uint64
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq). The sift
+// routines are hand-rolled (rather than container/heap) to keep the
+// per-event dispatch cost free of interface calls on the hot path.
 type eventQueue []*scheduled
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *scheduled) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+func (q eventQueue) siftUp(i int) {
+	s := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = s
+	s.index = i
 }
-func (q *eventQueue) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*q)
-	*q = append(*q, s)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	s.index = -1
-	*q = old[:n-1]
-	return s
+
+// siftDown moves q[i] towards the leaves; it reports whether the entry
+// moved (mirroring container/heap's down, which Remove needs).
+func (q eventQueue) siftDown(i int) bool {
+	s := q[i]
+	start := i
+	n := len(q)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], s) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = i
+		i = child
+	}
+	q[i] = s
+	s.index = i
+	return i > start
 }
 
 // Engine is a deterministic discrete-event scheduler over virtual time.
@@ -59,6 +103,11 @@ type Engine struct {
 	now   Time
 	queue eventQueue
 	seq   uint64
+	// free pools retired queue entries for reuse (bounded by the peak
+	// number of simultaneously pending events).
+	free []*scheduled
+	// batch is the scratch buffer for same-timestamp dispatch in RunUntil.
+	batch []*scheduled
 	// Stepped is invoked after every dispatched event; nil by default.
 	// Probes (power integrators, trace writers) may hook it.
 	Stepped func(now Time)
@@ -75,16 +124,89 @@ func (e *Engine) Now() Time { return e.now }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// (before Now) panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn Event) EventID {
+// alloc takes an entry from the pool, or makes one.
+func (e *Engine) alloc() *scheduled {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return s
+	}
+	return &scheduled{}
+}
+
+// release retires an entry to the pool, invalidating outstanding IDs.
+func (e *Engine) release(s *scheduled) {
+	s.gen++
+	s.fn = nil
+	s.period = 0
+	s.stopped = false
+	s.index = -1
+	e.free = append(e.free, s)
+}
+
+// push inserts the entry into the queue heap.
+func (e *Engine) push(s *scheduled) {
+	e.queue = append(e.queue, s)
+	s.index = len(e.queue) - 1
+	e.queue.siftUp(s.index)
+}
+
+// pop removes and returns the earliest entry.
+func (e *Engine) pop() *scheduled {
+	q := e.queue
+	n := len(q) - 1
+	s := q[0]
+	q[0] = q[n]
+	q[0].index = 0
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.queue.siftDown(0)
+	}
+	s.index = -1
+	return s
+}
+
+// remove deletes the entry at heap index i.
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	s := q[i]
+	if i != n {
+		q[i] = q[n]
+		q[i].index = i
+		q[n] = nil
+		e.queue = q[:n]
+		if !e.queue.siftDown(i) {
+			e.queue.siftUp(i)
+		}
+	} else {
+		q[n] = nil
+		e.queue = q[:n]
+	}
+	s.index = -1
+}
+
+// schedule allocates and enqueues an entry at absolute time t.
+func (e *Engine) schedule(t Time, fn Event) *scheduled {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	s := &scheduled{at: t, seq: e.seq, fn: fn}
+	s := e.alloc()
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
 	e.seq++
-	heap.Push(&e.queue, s)
-	return EventID{s}
+	e.push(s)
+	return s
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn Event) EventID {
+	s := e.schedule(t, fn)
+	return EventID{s: s, gen: s.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -95,40 +217,86 @@ func (e *Engine) After(d Time, fn Event) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-dispatched or
-// already-cancelled event is a no-op and returns false.
+// Cancel removes a pending event. Cancelling an already-dispatched,
+// already-cancelled, or currently-dispatching (in-flight) event — stale
+// IDs included, even after the engine has recycled the entry — is a
+// no-op and returns false.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.s == nil || id.s.index < 0 {
+	s := id.s
+	if s == nil || s.gen != id.gen {
 		return false
 	}
-	heap.Remove(&e.queue, id.s.index)
-	id.s.index = -1
-	return true
+	switch {
+	case s.index >= 0:
+		e.remove(s.index)
+		e.release(s)
+		return true
+	case s.index == claimed:
+		// Pending in the current dispatch batch: retire it before it
+		// fires (the dispatcher skips entries it no longer owns).
+		e.release(s)
+		return true
+	default:
+		// In flight (its own callback is running) or already done.
+		return false
+	}
 }
 
-// Every schedules fn to run at t, t+period, t+2*period, ... until the
-// returned stop function is called. fn itself runs before the next
-// occurrence is scheduled, so fn may stop the series from within.
+// Every schedules fn to run at start, start+period, start+2*period, ...
+// until the returned stop function is called. The series is one
+// persistent timer entry that re-arms itself after each tick, so a
+// steady-state periodic load allocates nothing per tick. fn runs before
+// the next occurrence is armed, so fn may stop the series from within;
+// stopping an in-flight tick from its own callback simply prevents the
+// re-arm. stop is idempotent.
 func (e *Engine) Every(start, period Time, fn Event) (stop func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
-	stopped := false
-	var tick Event
-	var pending EventID
-	tick = func(now Time) {
-		if stopped {
-			return
-		}
-		fn(now)
-		if !stopped {
-			pending = e.At(now+period, tick)
-		}
-	}
-	pending = e.At(start, tick)
+	s := e.schedule(start, fn)
+	s.period = period
+	gen := s.gen
 	return func() {
-		stopped = true
-		e.Cancel(pending)
+		if s.gen != gen || s.stopped {
+			return // series already retired (or entry recycled)
+		}
+		s.stopped = true
+		if s.index >= 0 {
+			e.remove(s.index)
+			e.release(s)
+		} else if s.index == claimed {
+			e.release(s)
+		}
+		// index == -1: the tick is in flight; the dispatcher sees
+		// stopped and retires the entry instead of re-arming.
+	}
+}
+
+// dispatch runs one entry popped from the queue (or claimed from a
+// batch), re-arming periodic timers and recycling everything else.
+func (e *Engine) dispatch(s *scheduled) {
+	s.index = -1
+	if s.period > 0 {
+		if !s.stopped {
+			s.fn(e.now)
+		}
+		if s.stopped {
+			e.release(s)
+		} else {
+			// Re-arm with a fresh sequence number: the next tick ties
+			// with events exactly as if it had been scheduled here.
+			s.at = e.now + s.period
+			s.seq = e.seq
+			e.seq++
+			e.push(s)
+		}
+	} else {
+		fn := s.fn
+		e.release(s)
+		fn(e.now)
+	}
+	if e.Stepped != nil {
+		e.Stepped(e.now)
 	}
 }
 
@@ -138,26 +306,50 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	s := heap.Pop(&e.queue).(*scheduled)
+	s := e.pop()
 	if s.at < e.now {
 		panic("sim: event queue corrupted (time went backwards)")
 	}
 	e.now = s.at
-	s.fn(e.now)
-	if e.Stepped != nil {
-		e.Stepped(e.now)
-	}
+	e.dispatch(s)
 	return true
 }
 
 // RunUntil dispatches events until the clock reaches t (events due exactly
 // at t are dispatched) or the queue drains, then sets the clock to t.
+// Events sharing a timestamp are claimed from the heap as one batch
+// before any of them runs, so a burst of same-instant events (aligned
+// periodic timers, simultaneous per-core ticks) pays one heap drain
+// instead of interleaving pops with the pushes their callbacks issue.
 func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
 	}
 	for len(e.queue) > 0 && e.queue[0].at <= t {
-		e.Step()
+		at := e.queue[0].at
+		if at < e.now {
+			panic("sim: event queue corrupted (time went backwards)")
+		}
+		// Claim the whole same-timestamp cohort. Callbacks may schedule
+		// new events at this same instant; those land in the heap with
+		// higher sequence numbers and form the next batch.
+		batch := e.batch
+		e.batch = nil // guard against re-entrant RunUntil from a callback
+		batch = batch[:0]
+		for len(e.queue) > 0 && e.queue[0].at == at {
+			s := e.pop()
+			s.index = claimed
+			batch = append(batch, s)
+		}
+		e.now = at
+		for i, s := range batch {
+			batch[i] = nil
+			if s.index != claimed {
+				continue // cancelled/stopped by an earlier batch member
+			}
+			e.dispatch(s)
+		}
+		e.batch = batch[:0]
 	}
 	e.now = t
 }

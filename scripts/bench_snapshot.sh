@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_snapshot.sh — run the hot-path microbenchmarks and write the
+# results as BENCH_sim.json at the repo root. The snapshot is the
+# reference point for performance regressions: re-run after touching
+# internal/sim or the integration path in internal/core and compare.
+#
+# Usage: scripts/bench_snapshot.sh [benchtime]
+set -eu
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-200ms}"
+out="BENCH_sim.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" \
+	./internal/sim ./internal/core | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     ns = $(i - 1)
+		if ($(i) == "B/op")      bytes = $(i - 1)
+		if ($(i) == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	row = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		pkg, name, ns, bytes, allocs)
+	rows = rows (rows == "" ? "" : ",\n") row
+}
+END {
+	printf "{\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": [\n%s\n  ]\n", rows
+	printf "}\n"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out"
