@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare ci
 
 all: build
 
@@ -28,5 +28,11 @@ bench:
 bench-snapshot:
 	scripts/bench_snapshot.sh
 
-# ci: the full gate — vet, race-enabled tests, benchmark smoke.
-ci: vet race bench
+# bench-compare: perf-regression guard — fresh run diffed against the
+# committed BENCH_sim.json (ns/op within +/-25%, allocs/op exact).
+bench-compare:
+	scripts/bench_snapshot.sh -compare
+
+# ci: the full gate — vet, race-enabled tests (includes the suite
+# scheduler determinism test), benchmark smoke, perf regression diff.
+ci: vet race bench bench-compare

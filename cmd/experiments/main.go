@@ -9,221 +9,122 @@
 //	experiments -run ablations
 //
 // Experiment ids: tab1 tab2 tab3 tab4 tab5 fig1 fig2 fig3 fig4 fig5
-// fig6 fig7 fig8 extensions ablations.
+// fig6 fig7 fig8 extensions catalog ablations.
+//
+// Experiments run concurrently on a shared process-wide slot pool
+// (one slot per GOMAXPROCS); output is buffered per experiment and
+// emitted in canonical order, byte-identical to a serial run. Rendered
+// results are cached on disk keyed by (experiment, options, format,
+// binary identity), so re-running an unchanged experiment replays the
+// cached bytes; -no-cache forces live runs, -cache-dir moves or (when
+// empty) disables the cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
-	"hswsim/internal/cstate"
 	"hswsim/internal/exp"
-	"hswsim/internal/uarch"
+	"hswsim/internal/expcache"
 )
 
-func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig2..fig8, extensions, catalog, ablations, all)")
+func main() { os.Exit(run()) }
+
+func run() int {
+	runIDs := flag.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig8, extensions, catalog, ablations, all)")
 	scale := flag.Float64("scale", 1.0, "effort scale: 1.0 = paper-fidelity durations/sample counts")
 	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV where the result is tabular")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "result cache directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the result cache: run everything live and do not store results")
+	verbose := flag.Bool("v", false, "report per-experiment timing and cache status on stderr")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Seed: *seed}
+
+	// Resolve the request against the suite before anything runs: an
+	// unknown id anywhere in the list is an up-front error, not a
+	// silently dropped token.
 	want := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(id)] = true
+	for _, id := range strings.Split(*runIDs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
 	}
 	all := want["all"]
-	ran := 0
+	delete(want, "all")
+	var unknown []string
+	for id := range want {
+		if _, ok := exp.Lookup(id); !ok {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
+		flag.Usage()
+		return 2
+	}
+	var ids []string
+	for _, d := range exp.Suite() {
+		if all || want[d.ID] {
+			ids = append(ids, d.ID)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments selected")
+		flag.Usage()
+		return 2
+	}
 
-	emit := func(id string, fn func() error) {
-		if !all && !want[id] {
+	var cache exp.Cache
+	if !*noCache && *cacheDir != "" {
+		c, err := expcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: result cache disabled: %v\n", err)
+		} else {
+			cache = c
+		}
+	}
+
+	// Run everything requested even when some experiments fail; report
+	// every failure and exit nonzero at the end.
+	failed := 0
+	exp.RunSuite(ids, o, *csv, cache, func(r exp.SuiteResult) {
+		fmt.Printf("==== %s ====\n", r.ID)
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
 			return
 		}
-		ran++
-		fmt.Printf("==== %s ====\n", id)
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
+		os.Stdout.Write(r.Output)
 		fmt.Println()
-	}
-
-	emit("tab1", func() error {
-		t := exp.Table1()
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Print(t.String())
-		}
-		return nil
-	})
-	emit("tab2", func() error {
-		t, _, err := exp.Table2(o)
-		if err != nil {
-			return err
-		}
-		printTable(t, *csv)
-		return nil
-	})
-	emit("tab3", func() error {
-		_, t, err := exp.Table3(o)
-		if err != nil {
-			return err
-		}
-		printTable(t, *csv)
-		return nil
-	})
-	emit("tab4", func() error {
-		_, t, err := exp.Table4(o)
-		if err != nil {
-			return err
-		}
-		printTable(t, *csv)
-		return nil
-	})
-	emit("tab5", func() error {
-		_, t, err := exp.Table5(o)
-		if err != nil {
-			return err
-		}
-		printTable(t, *csv)
-		return nil
-	})
-	emit("fig1", func() error {
-		fmt.Print(exp.Fig1Render())
-		return nil
-	})
-	emit("fig2", func() error {
-		for _, gen := range []uarch.Generation{uarch.SandyBridgeEP, uarch.HaswellEP} {
-			r, err := exp.Fig2(gen, o)
-			if err != nil {
-				return err
+		if *verbose {
+			how := "ran"
+			if r.Cached {
+				how = "cache hit"
 			}
-			fmt.Print(r.Render())
+			fmt.Fprintf(os.Stderr, "%s: %s in %v\n", r.ID, how, r.Elapsed.Round(time.Millisecond))
 		}
-		return nil
 	})
-	emit("fig3", func() error {
-		r, err := exp.Fig3(o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("fig4", func() error {
-		r, err := exp.Fig4(o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("fig5", func() error {
-		r, err := exp.CStateLatencies(cstate.C3, o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("fig6", func() error {
-		r, err := exp.CStateLatencies(cstate.C6, o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("fig7", func() error {
-		r, err := exp.Fig7(o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("fig8", func() error {
-		r, err := exp.Fig8(o)
-		if err != nil {
-			return err
-		}
-		fmt.Print(r.Render())
-		return nil
-	})
-	emit("extensions", func() error {
-		_, t1, err := exp.PowerCapStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t1, *csv)
-		fmt.Println()
-		_, t2, err := exp.IdleTableStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t2, *csv)
-		fmt.Println()
-		_, t3, err := exp.DVFSDynamicStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t3, *csv)
-		fmt.Println()
-		_, t4, err := exp.NUMAStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t4, *csv)
-		fmt.Println()
-		_, t5, err := exp.PCPSStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t5, *csv)
-		return nil
-	})
-	emit("catalog", func() error {
-		_, t, err := exp.KernelCatalogStudy(o)
-		if err != nil {
-			return err
-		}
-		printTable(t, *csv)
-		return nil
-	})
-	emit("ablations", func() error {
-		type abl func(exp.Options) (*exp.AblationResult, error)
-		for _, fn := range []abl{
-			exp.AblationPstateGrid, exp.AblationUFS, exp.AblationRAPLMode,
-			exp.AblationEET, exp.AblationBudget,
-		} {
-			r, err := fn(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.Render())
-			fmt.Println()
-		}
-		return nil
-	})
-
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment id(s) %q\n", *run)
-		flag.Usage()
-		os.Exit(2)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d experiments failed\n", failed, len(ids))
+		return 1
 	}
+	return 0
 }
 
-func printTable(t interface {
-	String() string
-	CSV() string
-}, csv bool) {
-	if csv {
-		fmt.Print(t.CSV())
-		return
+// defaultCacheDir places the cache under the user cache directory; an
+// unresolvable home disables caching rather than writing somewhere odd.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
 	}
-	fmt.Print(t.String())
+	return filepath.Join(base, "hswsim", "experiments")
 }

@@ -45,6 +45,11 @@ type Core struct {
 
 	lastRequestAt sim.Time
 
+	// completeFn is the persistent transition-completion event (one
+	// closure per core instead of one per transition; stale firings
+	// no-op inside Domain.Complete).
+	completeFn sim.Event
+
 	// resid accumulates p-state/c-state residency (cpufreq-stats view).
 	resid residency
 
@@ -70,6 +75,16 @@ func newCore(sk *Socket, index int, voltOffset float64) *Core {
 	if c.cstateNow == cstate.C0 {
 		c.cstateNow = cstate.C6
 	}
+	c.completeFn = func(t sim.Time) {
+		c.sk.sys.integrateTo(t)
+		if c.dom.Complete(t) {
+			c.sk.markDirty()
+			if tr := c.sk.sys.trace; tr != nil {
+				tr.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
+					"now %v", c.dom.Granted())
+			}
+		}
+	}
 	return c
 }
 
@@ -82,12 +97,16 @@ func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
 	c.sk.markDirty()
 	if k == nil {
 		c.cstateNow = c.sk.sys.cfg.IdleState
-		c.sk.sys.trace.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v (idle)", c.cstateNow)
+		if tr := c.sk.sys.trace; tr != nil {
+			tr.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v (idle)", c.cstateNow)
+		}
 		return
 	}
 	if c.cstateNow != cstate.C0 {
-		c.sk.sys.trace.Emitf(now, trace.CStateExit, c.sk.Index, c.CPU,
-			"%v -> C0 running %q", c.cstateNow, k.Name())
+		if tr := c.sk.sys.trace; tr != nil {
+			tr.Emitf(now, trace.CStateExit, c.sk.Index, c.CPU,
+				"%v -> C0 running %q", c.cstateNow, k.Name())
+		}
 	}
 	c.cstateNow = cstate.C0
 	if k.ProfileAt(0).AVXFrac > 0 && !c.avxMode {
@@ -127,7 +146,12 @@ func (c *Core) slowdown() float64 {
 func (c *Core) requestPState(now sim.Time, f uarch.MHz) {
 	c.dom.Request(f)
 	c.lastRequestAt = now
-	c.sk.sys.trace.Emitf(now, trace.PStateRequest, c.sk.Index, c.CPU, "-> %v", c.dom.Requested())
+	// The nil guard is load-bearing: Emitf's variadic boxing allocates
+	// at the call site even when the buffer would discard the event,
+	// and p-state requests are a hot path for governor workloads.
+	if tr := c.sk.sys.trace; tr != nil {
+		tr.Emitf(now, trace.PStateRequest, c.sk.Index, c.CPU, "-> %v", c.dom.Requested())
+	}
 	if c.sk.PCU.GridPeriod() <= 0 {
 		// Pre-Haswell: immediate, bounded only by the switching time.
 		c.applyGrantTagged(now, c.clampGrantImmediate(), now)
@@ -180,17 +204,11 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 	c.sk.markDirty()
 	if c.dom.Begin(requestedAt, now, target, switchTime) {
 		c.lastRequestAt = 0
-		c.sk.sys.trace.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
-			"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
-		completion := now + switchTime
-		c.sk.sys.Engine.At(completion, func(t sim.Time) {
-			c.sk.sys.integrateTo(t)
-			if c.dom.Complete(t) {
-				c.sk.markDirty()
-				c.sk.sys.trace.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
-					"now %v", c.dom.Granted())
-			}
-		})
+		if tr := c.sk.sys.trace; tr != nil {
+			tr.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
+				"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
+		}
+		c.sk.sys.Engine.At(now+switchTime, c.completeFn)
 	}
 }
 

@@ -187,11 +187,13 @@ func (sk *Socket) pcuTick(now sim.Time) {
 	// Apply core frequency grants.
 	for i, c := range sk.cores {
 		if dec.AVXMode[i] != c.avxMode {
-			kind := trace.AVXExit
-			if dec.AVXMode[i] {
-				kind = trace.AVXEnter
+			if tr := sk.sys.trace; tr != nil {
+				kind := trace.AVXExit
+				if dec.AVXMode[i] {
+					kind = trace.AVXEnter
+				}
+				tr.Emitf(now, kind, sk.Index, c.CPU, "")
 			}
-			sk.sys.trace.Emitf(now, kind, sk.Index, c.CPU, "")
 			sk.markDirty()
 		}
 		c.avxMode = dec.AVXMode[i]
@@ -209,8 +211,10 @@ func (sk *Socket) pcuTick(now sim.Time) {
 
 	// Apply the uncore grant.
 	if dec.UncoreMHz != sk.uncoreMHz && !cstate.UncoreHalted(sk.pkgCState) {
-		sk.sys.trace.Emitf(now, trace.UncoreChange, sk.Index, -1,
-			"%v -> %v", sk.uncoreMHz, dec.UncoreMHz)
+		if tr := sk.sys.trace; tr != nil {
+			tr.Emitf(now, trace.UncoreChange, sk.Index, -1,
+				"%v -> %v", sk.uncoreMHz, dec.UncoreMHz)
+		}
 		sk.uncoreMHz = dec.UncoreMHz
 		sk.uncoreReg.SetFrequency(dec.UncoreMHz)
 		sk.markDirty()

@@ -109,6 +109,10 @@ type System struct {
 
 	epb pcu.EPB
 
+	// statesBuf is refreshPackageStates' scratch (hot on wake-heavy
+	// workloads; one buffer instead of one slice per refresh).
+	statesBuf []cstate.State
+
 	// trace is nil unless EnableTrace was called (nil is a valid no-op
 	// recorder).
 	trace *trace.Buffer
@@ -341,14 +345,19 @@ func (s *System) refreshPackageStates() {
 	}
 	now := s.Engine.Now()
 	for _, sk := range s.sockets {
-		states := make([]cstate.State, len(sk.cores))
+		if cap(s.statesBuf) < len(sk.cores) {
+			s.statesBuf = make([]cstate.State, len(sk.cores))
+		}
+		states := s.statesBuf[:len(sk.cores)]
 		for i, c := range sk.cores {
 			states[i] = c.cstateNow
 		}
 		next := cstate.DeepestPkgState(states, anyActive)
 		if next != sk.pkgCState {
-			s.trace.Emitf(now, trace.PkgCStateChange, sk.Index, -1,
-				"%v -> %v", sk.pkgCState, next)
+			if tr := s.trace; tr != nil {
+				tr.Emitf(now, trace.PkgCStateChange, sk.Index, -1,
+					"%v -> %v", sk.pkgCState, next)
+			}
 			// Package state gates the uncore clock: the memoized
 			// operating point no longer holds.
 			sk.markDirty()

@@ -2,55 +2,72 @@ package exp
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // parallelWorkers overrides the worker count when positive (test seam:
-// 1 forces a serial run for determinism comparisons).
+// 1 forces a serial run for determinism comparisons — parallelMap runs
+// on the caller alone and RunSuite degrades to a sequential loop).
 var parallelWorkers = 0
 
-// parallelMap runs fn over items on a bounded worker pool and returns
+// parallelMap runs fn over items on the shared slot pool and returns
 // results in input order. Each item builds and runs its own independent
 // simulated platform, so parallelism does not affect determinism — only
 // wall-clock time. Once any item fails, no further items are started
 // (in-flight ones finish); all errors that did occur are returned
 // joined, so callers see every failure, not just the first.
+//
+// The calling goroutine always participates: it drains items itself on
+// whatever compute slot it already holds (inside RunSuite that is the
+// experiment's suite-level slot). Helper goroutines join only after
+// acquiring a slot of their own from the shared pool, which is what
+// lets point-level work interleave with other whole experiments without
+// oversubscribing the machine — and what makes the nesting
+// deadlock-free: the caller never waits on a slot.
 func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := sched.slots()
 	if parallelWorkers > 0 {
 		workers = parallelWorkers
 	}
 	if workers > len(items) {
 		workers = len(items)
 	}
-	if workers < 1 {
-		workers = 1
-	}
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
+	var next atomic.Int64
 	var failed atomic.Bool
+	work := func() {
+		for {
+			if failed.Load() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= len(items) {
+				return
+			}
+			if results[i], errs[i] = fn(items[i]); errs[i] != nil {
+				failed.Store(true)
+			}
+		}
+	}
+	done := make(chan struct{})
 	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for h := 0; h < workers-1; h++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				if results[i], errs[i] = fn(items[i]); errs[i] != nil {
-					failed.Store(true)
-				}
+			select {
+			case sched.c <- struct{}{}:
+				work()
+				<-sched.c
+			case <-done:
+				// The map drained before a slot freed up; nothing left.
 			}
 		}()
 	}
-	for i := range items {
-		if failed.Load() {
-			break
-		}
-		next <- i
-	}
-	close(next)
+	work()
+	close(done)
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err

@@ -1,0 +1,39 @@
+package exp
+
+import "runtime"
+
+// slotPool is the process-wide bounded compute scheduler: a semaphore
+// over "compute slots", one per GOMAXPROCS. Both concurrency levels of
+// a suite run share it — RunSuite holds one slot per in-flight
+// experiment, and parallelMap's helper workers each hold one slot while
+// they participate in a point sweep — so the machine stays saturated
+// without oversubscription regardless of how the two levels interleave.
+//
+// Deadlock freedom: parallelMap never blocks the calling goroutine on a
+// slot. The caller always works through items on whatever slot it
+// already holds (the suite-level one, when called from inside an
+// experiment), and only the extra helpers wait for free slots. A helper
+// blocked on a full pool is released as soon as its map drains, so no
+// cycle of waiters can form.
+type slotPool struct {
+	c chan struct{}
+}
+
+func newSlotPool(n int) *slotPool {
+	if n < 1 {
+		n = 1
+	}
+	return &slotPool{c: make(chan struct{}, n)}
+}
+
+// acquire blocks until a compute slot is free.
+func (p *slotPool) acquire() { p.c <- struct{}{} }
+
+// release returns a held slot.
+func (p *slotPool) release() { <-p.c }
+
+// slots returns the pool capacity.
+func (p *slotPool) slots() int { return cap(p.c) }
+
+// sched is the scheduler every experiment in this process shares.
+var sched = newSlotPool(runtime.GOMAXPROCS(0))

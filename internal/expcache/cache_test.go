@@ -1,0 +1,149 @@
+package expcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hswsim/internal/exp"
+)
+
+func open(t *testing.T) *Dir {
+	t.Helper()
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	d := open(t)
+	o := exp.Options{Scale: 0.25, Seed: 0x5eed}
+	out := []byte("==== rendered table ====\nrow 1\n")
+	if _, ok := d.Get("tab4", o, false); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := d.Put("tab4", o, false, out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("tab4", o, false)
+	if !ok || string(got) != string(out) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Every key component separates entries.
+	if _, ok := d.Get("tab5", o, false); ok {
+		t.Fatal("id not part of the key")
+	}
+	if _, ok := d.Get("tab4", exp.Options{Scale: 0.5, Seed: 0x5eed}, false); ok {
+		t.Fatal("scale not part of the key")
+	}
+	if _, ok := d.Get("tab4", exp.Options{Scale: 0.25, Seed: 1}, false); ok {
+		t.Fatal("seed not part of the key")
+	}
+	if _, ok := d.Get("tab4", o, true); ok {
+		t.Fatal("format not part of the key")
+	}
+}
+
+// entryFile locates the single stored entry.
+func entryFile(t *testing.T, d *Dir) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(d.root, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(p, ".json") {
+			found = p
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no entry file found: %v", err)
+	}
+	return found
+}
+
+func TestCorruptEntryIsMissAndEvicted(t *testing.T) {
+	d := open(t)
+	o := exp.Options{Scale: 1, Seed: 2}
+	if err := d.Put("fig2", o, false, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	p := entryFile(t, d)
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("fig2", o, false); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not evicted")
+	}
+	// A follow-up Put/Get recovers.
+	if err := d.Put("fig2", o, false, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get("fig2", o, false); !ok || string(got) != "fresh" {
+		t.Fatal("cache did not recover after eviction")
+	}
+}
+
+func TestStaleBuildIsMiss(t *testing.T) {
+	d := open(t)
+	o := exp.Options{Scale: 1, Seed: 2}
+	if err := d.Put("fig3", o, false, []byte("old model output")); err != nil {
+		t.Fatal(err)
+	}
+	// A rebuilt binary opens the same directory with a new build id:
+	// the old entry must never replay.
+	d2 := &Dir{root: d.root, buildID: d.buildID + "-rebuilt"}
+	if _, ok := d2.Get("fig3", o, false); ok {
+		t.Fatal("entry from a different build served as a hit")
+	}
+	if err := d2.Put("fig3", o, false, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d2.Get("fig3", o, false); !ok || string(got) != "new" {
+		t.Fatal("re-store under the new build failed")
+	}
+	// The original build's entry is untouched (different key).
+	if got, ok := d.Get("fig3", o, false); !ok || string(got) != "old model output" {
+		t.Fatal("old build entry clobbered")
+	}
+}
+
+func TestMismatchedEnvelopeIsEvicted(t *testing.T) {
+	d := open(t)
+	o := exp.Options{Scale: 1, Seed: 3}
+	if err := d.Put("tab2", o, false, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the entry claiming a different tuple than its filename
+	// hashes to (e.g. a file restored to the wrong path): paranoia
+	// check must reject and evict it.
+	p := entryFile(t, d)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(strings.Replace(string(raw), `"tab2"`, `"tab3"`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("tab2", o, false); ok {
+		t.Fatal("mismatched envelope served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("mismatched entry not evicted")
+	}
+}
+
+func TestBuildIDStable(t *testing.T) {
+	a, b := buildID(), buildID()
+	if a == "" || a != b {
+		t.Fatalf("buildID unstable: %q vs %q", a, b)
+	}
+	d1, d2 := open(t), open(t)
+	if d1.buildID != d2.buildID {
+		t.Fatal("Open derives different build ids in one process")
+	}
+}

@@ -24,7 +24,15 @@ type Domain struct {
 	completes sim.Time
 	inFlight  bool
 
+	// transitions is a bounded ring of the most recent logLimit
+	// transitions. Storage is grabbed at full capacity on the first
+	// transition (domains that never change frequency pay nothing);
+	// once len reaches logLimit the ring wraps through head, so the
+	// steady logging path never allocates — the previous
+	// sliding-window trim kept append permanently at capacity and
+	// re-allocated the whole log every logLimit-th entry.
 	transitions []Transition
+	head        int // oldest entry once the ring is full
 	logLimit    int
 }
 
@@ -85,16 +93,42 @@ func (d *Domain) Begin(requestedAt, grantedAt sim.Time, target uarch.MHz, switch
 	d.target = target
 	d.completes = grantedAt + switchTime
 	d.inFlight = true
-	d.transitions = append(d.transitions, Transition{
+	d.log(Transition{
 		RequestedAt: requestedAt,
 		GrantedAt:   grantedAt,
 		From:        d.granted,
 		To:          target,
 	})
-	if len(d.transitions) > d.logLimit {
-		d.transitions = d.transitions[len(d.transitions)-d.logLimit:]
-	}
 	return true
+}
+
+// log appends to the transition ring, overwriting the oldest entry once
+// full.
+func (d *Domain) log(t Transition) {
+	if d.transitions == nil {
+		d.transitions = make([]Transition, 0, d.logLimit)
+	}
+	if len(d.transitions) < d.logLimit {
+		d.transitions = append(d.transitions, t)
+		return
+	}
+	d.transitions[d.head] = t
+	d.head++
+	if d.head == d.logLimit {
+		d.head = 0
+	}
+}
+
+// last returns the most recently logged transition, or nil.
+func (d *Domain) last() *Transition {
+	n := len(d.transitions)
+	if n == 0 {
+		return nil
+	}
+	if n < d.logLimit || d.head == 0 {
+		return &d.transitions[n-1]
+	}
+	return &d.transitions[d.head-1]
 }
 
 // Complete applies the pending transition if its completion time has
@@ -105,8 +139,8 @@ func (d *Domain) Complete(now sim.Time) bool {
 	}
 	d.granted = d.target
 	d.inFlight = false
-	if n := len(d.transitions); n > 0 && d.transitions[n-1].CompletedAt == 0 {
-		d.transitions[n-1].CompletedAt = d.completes
+	if t := d.last(); t != nil && t.CompletedAt == 0 {
+		t.CompletedAt = d.completes
 	}
 	return true
 }
@@ -116,10 +150,17 @@ func (d *Domain) CompletionTime() (sim.Time, bool) {
 	return d.completes, d.inFlight
 }
 
-// Transitions returns the completed transition log.
+// Transitions returns the completed transition log in chronological
+// order.
 func (d *Domain) Transitions() []Transition {
-	out := make([]Transition, 0, len(d.transitions))
-	for _, t := range d.transitions {
+	n := len(d.transitions)
+	out := make([]Transition, 0, n)
+	start := 0
+	if n == d.logLimit {
+		start = d.head
+	}
+	for i := 0; i < n; i++ {
+		t := d.transitions[(start+i)%n]
 		if t.CompletedAt != 0 {
 			out = append(out, t)
 		}

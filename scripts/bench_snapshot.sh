@@ -4,14 +4,37 @@
 # reference point for performance regressions: re-run after touching
 # internal/sim or the integration path in internal/core and compare.
 #
-# Usage: scripts/bench_snapshot.sh [benchtime]
+# Usage:
+#   scripts/bench_snapshot.sh [benchtime]            # refresh BENCH_sim.json
+#   scripts/bench_snapshot.sh -compare [benchtime]   # perf-regression gate
+#
+# Compare mode diffs a fresh run against the committed snapshot instead
+# of overwriting it: ns/op must stay within the tolerance (default
+# +/-25%, override with BENCH_TOL=0.40 etc.), allocs/op must match
+# exactly, and every benchmark in the snapshot must still exist. Exits
+# nonzero on any regression — `make ci` runs this as its perf gate.
 set -eu
 cd "$(dirname "$0")/.."
 
+mode=snapshot
+if [ "${1:-}" = "-compare" ]; then
+	mode=compare
+	shift
+fi
 benchtime="${1:-200ms}"
-out="BENCH_sim.json"
+tol="${BENCH_TOL:-0.25}"
+ref="BENCH_sim.json"
+out="$ref"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+fresh=""
+cleanup() { rm -f "$tmp" ${fresh:+"$fresh"}; }
+trap cleanup EXIT
+
+if [ "$mode" = "compare" ]; then
+	[ -f "$ref" ] || { echo "bench compare: no $ref snapshot to compare against" >&2; exit 1; }
+	fresh="$(mktemp)"
+	out="$fresh"
+fi
 
 go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" \
 	./internal/sim ./internal/core | tee "$tmp"
@@ -42,4 +65,60 @@ END {
 }
 ' "$tmp" > "$out"
 
-echo "wrote $out"
+if [ "$mode" = "snapshot" ]; then
+	echo "wrote $out"
+	exit 0
+fi
+
+echo ""
+echo "comparing against $ref (ns/op tolerance +/-$tol, allocs/op exact)"
+awk -v tol="$tol" '
+function field(line, key,   re, s) {
+	re = "\"" key "\": \"?[^,}\"]*"
+	if (match(line, re)) {
+		s = substr(line, RSTART, RLENGTH)
+		sub(/^[^:]*: "?/, "", s)
+		return s
+	}
+	return ""
+}
+/"name":/ {
+	k = field($0, "pkg") "/" field($0, "name")
+	if (NR == FNR) {
+		refns[k] = field($0, "ns_per_op") + 0
+		refal[k] = field($0, "allocs_per_op") + 0
+		next
+	}
+	seen[k] = 1
+	ns = field($0, "ns_per_op") + 0
+	al = field($0, "allocs_per_op") + 0
+	if (!(k in refns)) {
+		printf "  new      %-55s %10.1f ns/op %3d allocs/op (no reference)\n", k, ns, al
+		next
+	}
+	ratio = refns[k] > 0 ? ns / refns[k] : 1
+	status = "ok"
+	if (al != refal[k]) {
+		status = "FAIL"; why = sprintf("allocs %d != %d", al, refal[k]); fail++
+	} else if (ratio > 1 + tol) {
+		status = "FAIL"; why = sprintf("%.0f%% slower", (ratio - 1) * 100); fail++
+	} else if (ratio < 1 - tol) {
+		status = "note"; why = sprintf("%.0f%% faster than snapshot (refresh it?)", (1 - ratio) * 100)
+	} else {
+		why = sprintf("%+.0f%% ns/op", (ratio - 1) * 100)
+	}
+	printf "  %-8s %-55s %10.1f vs %10.1f ns/op  %s\n", status, k, ns, refns[k], why
+}
+END {
+	if (NR == FNR) exit 0
+	for (k in refns) if (!(k in seen)) {
+		printf "  FAIL     %-55s missing from fresh run\n", k
+		fail++
+	}
+	if (fail > 0) {
+		printf "bench compare: %d regression(s) against the committed snapshot\n", fail
+		exit 1
+	}
+	print "bench compare: ok"
+}
+' "$ref" "$fresh"
