@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot bench-compare ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare golden ci
 
 all: build
 
@@ -33,6 +33,15 @@ bench-snapshot:
 bench-compare:
 	scripts/bench_snapshot.sh -compare
 
+# golden: the determinism gate in isolation — the full suite rendered
+# with forked-parallel sweep points must be byte-identical to the
+# strictly serial reference, and forked platforms must evolve
+# bitwise-identically to their parents, all under the race detector.
+golden:
+	$(GO) test -race -run 'TestSuiteSerialVsParallelByteIdentical' ./internal/exp
+	$(GO) test -race -run 'TestFork|TestEngineFork' ./internal/core ./internal/sim
+
 # ci: the full gate — vet, race-enabled tests (includes the suite
-# scheduler determinism test), benchmark smoke, perf regression diff.
-ci: vet race bench bench-compare
+# scheduler determinism test), benchmark smoke, perf regression diff,
+# and the serial-vs-forked-parallel golden comparison.
+ci: vet race bench bench-compare golden

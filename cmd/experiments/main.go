@@ -18,6 +18,9 @@
 // binary identity), so re-running an unchanged experiment replays the
 // cached bytes; -no-cache forces live runs, -cache-dir moves or (when
 // empty) disables the cache.
+//
+// -cpuprofile, -memprofile and -trace write standard runtime profiles
+// of the run for `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -25,6 +28,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"sort"
 	"strings"
 	"time"
@@ -43,7 +49,55 @@ func run() int {
 	cacheDir := flag.String("cache-dir", defaultCacheDir(), "result cache directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the result cache: run everything live and do not store results")
 	verbose := flag.Bool("v", false, "report per-experiment timing and cache status on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 2
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 2
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	o := exp.Options{Scale: *scale, Seed: *seed}
 

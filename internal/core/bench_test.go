@@ -62,6 +62,38 @@ func BenchmarkSystemRunIdle(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemFork measures one fork of the warmed loaded platform —
+// the per-sweep-point setup cost the forked experiments pay instead of
+// a fresh NewSystem plus warmup.
+func BenchmarkSystemFork(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Fork(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemForkedSweepPoint is one full sweep point as the
+// converted experiments run it: fork the warm parent, change the
+// operating point, advance a millisecond of virtual time.
+func BenchmarkSystemForkedSweepPoint(b *testing.B) {
+	sys := benchSystem(b)
+	spec := sys.Spec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := sys.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		child.SetPStateAll(spec.MinMHz)
+		child.Run(sim.Millisecond)
+	}
+}
+
 // BenchmarkSystemPStateChurn measures integration with frequent
 // operating-point changes (governor-style p-state flapping): the
 // worst case for change-driven integration, guarding against fast-path

@@ -46,9 +46,12 @@ type Core struct {
 	lastRequestAt sim.Time
 
 	// completeFn is the persistent transition-completion event (one
-	// closure per core instead of one per transition; stale firings
-	// no-op inside Domain.Complete).
+	// method value per core instead of one closure per transition; stale
+	// firings no-op inside Domain.Complete).
 	completeFn sim.Event
+	// completeEv identifies the pending completion event (if any) so
+	// Fork can re-arm an in-flight transition on the child engine.
+	completeEv sim.EventID
 
 	// resid accumulates p-state/c-state residency (cpufreq-stats view).
 	resid residency
@@ -75,17 +78,21 @@ func newCore(sk *Socket, index int, voltOffset float64) *Core {
 	if c.cstateNow == cstate.C0 {
 		c.cstateNow = cstate.C6
 	}
-	c.completeFn = func(t sim.Time) {
-		c.sk.sys.integrateTo(t)
-		if c.dom.Complete(t) {
-			c.sk.markDirty()
-			if tr := c.sk.sys.trace; tr != nil {
-				tr.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
-					"now %v", c.dom.Granted())
-			}
+	c.completeFn = c.onComplete
+	return c
+}
+
+// onComplete is the transition-completion event body (bound as the
+// persistent completeFn method value).
+func (c *Core) onComplete(t sim.Time) {
+	c.sk.sys.integrateTo(t)
+	if c.dom.Complete(t) {
+		c.sk.markDirty()
+		if tr := c.sk.sys.trace; tr != nil {
+			tr.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
+				"now %v", c.dom.Granted())
 		}
 	}
-	return c
 }
 
 // assign places a kernel on the core (nil = idle) at time now.
@@ -208,7 +215,7 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 			tr.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
 				"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
 		}
-		c.sk.sys.Engine.At(now+switchTime, c.completeFn)
+		c.completeEv = c.sk.sys.Engine.At(now+switchTime, c.completeFn)
 	}
 }
 

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"hswsim/internal/msr"
+)
+
+// Fork produces an independent copy of the platform whose future
+// evolution is bitwise-identical to continuing the original: same
+// virtual clock, same event tie-break order, same RNG streams, same
+// component state. Parent and child then diverge only through the
+// operations applied to each — the foundation for running sweep points
+// concurrently from one warmed-up platform.
+//
+// Mechanically, every stateful component is cloned (immutable parts —
+// spec, topology, cache model, kernels — are shared), and the pending
+// platform timers (per-socket PCU grid tick, meter sample, in-flight
+// p-state completions) are re-created declaratively on a fresh engine
+// with their original (time, sequence) coordinates rather than copied
+// as closures, so their callbacks bind the child's component graph.
+//
+// Fork requires a quiescent platform: no events other than the
+// platform's own timers may be pending (experiment-level Every
+// closures, WakeCore one-shots and governor timers close over the
+// parent and cannot be transplanted). Forking with foreign events
+// pending returns an error.
+//
+// On an integrated parent (which any quiescent system is — every Run /
+// RunUntil ends with an integrateTo) Fork is read-only, so many
+// goroutines may fork the same parent concurrently.
+func (s *System) Fork() (*System, error) {
+	if s.lastIntegrate != s.Engine.Now() {
+		// Catch-up path: mutates the parent, so it is only safe
+		// single-threaded. Quiescent systems never take it.
+		s.integrateTo(s.Engine.Now())
+	}
+
+	// Inventory the platform's own pending timers before touching the
+	// child, so a foreign event is reported instead of half-forked.
+	expected := 1 // meter sample
+	for _, sk := range s.sockets {
+		if !s.Engine.IsPending(sk.tickEv) {
+			return nil, fmt.Errorf("core: fork: socket %d grid tick not pending", sk.Index)
+		}
+		expected++
+		for _, c := range sk.cores {
+			if s.Engine.IsPending(c.completeEv) {
+				expected++
+			}
+		}
+	}
+	if !s.Engine.IsPending(s.meterEv) {
+		return nil, fmt.Errorf("core: fork: meter sample event not pending")
+	}
+	if pending := s.Engine.Pending(); pending != expected {
+		return nil, fmt.Errorf("core: fork: %d foreign events pending (cannot transplant their closures); fork only a quiescent platform",
+			pending-expected)
+	}
+
+	n := &System{
+		Engine:        s.Engine.Fork(),
+		cfg:           s.cfg,
+		msrDev:        msr.NewDevice(),
+		meter:         s.meter.Clone(),
+		rng:           s.rng.Clone(),
+		lastIntegrate: s.lastIntegrate,
+		acJoules:      s.acJoules,
+		lastACPower:   s.lastACPower,
+		epb:           s.epb,
+		trace:         s.trace.Clone(),
+	}
+	for _, sk := range s.sockets {
+		n.sockets = append(n.sockets, sk.fork(n))
+	}
+	n.wireMSRs()
+	n.copyMSRState(s)
+
+	// Re-arm the platform timers on the child engine at their parent
+	// (time, sequence) coordinates.
+	for i, sk := range s.sockets {
+		nsk := n.sockets[i]
+		nsk.tickEv = n.Engine.Rearm(sk.tickEv, nsk.tickFn)
+		for j, c := range sk.cores {
+			if s.Engine.IsPending(c.completeEv) {
+				nc := nsk.cores[j]
+				nc.completeEv = n.Engine.Rearm(c.completeEv, nc.completeFn)
+			}
+		}
+	}
+	n.meterEv = n.Engine.Rearm(s.meterEv, n.meterTick)
+	return n, nil
+}
+
+// fork clones one socket onto the child system. Immutable structure
+// (spec, topology, cache/IMC model) is shared; everything mutable is
+// cloned. The child starts with the integration memo invalidated —
+// its first segment runs the full path, which the replay contract
+// guarantees is bit-for-bit identical to replaying the dropped memo.
+func (sk *Socket) fork(sys *System) *Socket {
+	n := &Socket{
+		sys:   sys,
+		Index: sk.Index,
+		Spec:  sk.Spec,
+		Topo:  sk.Topo,
+		Cache: sk.Cache,
+		Power: sk.Power.Clone(),
+		RAPL:  sk.RAPL.Clone(),
+		PCU:   sk.PCU.Clone(),
+
+		uncoreReg: sk.uncoreReg.Clone(),
+		uncoreMHz: sk.uncoreMHz,
+		uncoreCtr: sk.uncoreCtr,
+		mbvr:      sk.mbvr.Clone(),
+
+		pkgCState:     sk.pkgCState,
+		prevDeepState: sk.prevDeepState,
+		leftDeepAt:    sk.leftDeepAt,
+
+		pcuPhase:    sk.pcuPhase,
+		rng:         sk.rng.Clone(),
+		tickJoules:  sk.tickJoules,
+		lastTick:    sk.lastTick,
+		lastPkgPowW: sk.lastPkgPowW,
+		dramGBs:     sk.dramGBs,
+
+		opDirty: true,
+	}
+	n.tickFn = n.gridTick
+	for _, c := range sk.cores {
+		n.cores = append(n.cores, c.fork(n))
+	}
+	return n
+}
+
+// fork clones one core onto the child socket. The kernel is shared
+// (kernels are pure profile functions); regulator, p-state domain,
+// counters and residency are cloned.
+func (c *Core) fork(sk *Socket) *Core {
+	n := &Core{
+		sk:    sk,
+		Index: c.Index,
+		CPU:   c.CPU,
+
+		reg: c.reg.Clone(),
+		dom: c.dom.Clone(),
+		ctr: c.ctr,
+
+		cstateNow: c.cstateNow,
+		kernel:    c.kernel,
+		kernStart: c.kernStart,
+		threads:   c.threads,
+
+		epbBits: c.epbBits,
+
+		avxMode:      c.avxMode,
+		avxSlowUntil: c.avxSlowUntil,
+
+		lastStall: c.lastStall,
+		lastRate:  c.lastRate,
+		lastSD:    c.lastSD,
+
+		lastRequestAt: c.lastRequestAt,
+
+		resid: c.resid.clone(),
+
+		profCacheAt:  c.profCacheAt,
+		profCacheOK:  c.profCacheOK,
+		profCacheVal: c.profCacheVal,
+	}
+	n.completeFn = n.onComplete
+	return n
+}

@@ -13,7 +13,9 @@ func (s *System) wireMSRs() {
 	dev := s.msrDev
 	ncpu := s.CPUs()
 
-	// IA32_ENERGY_PERF_BIAS: per-CPU, writable; feeds the PCU.
+	// IA32_ENERGY_PERF_BIAS: per-CPU, writable; feeds the PCU. The
+	// backing storage lives on the System (not in closure locals) so
+	// Fork can copy register state without replaying write side effects.
 	epb := msr.NewPerCPU(msr.IA32_ENERGY_PERF_BIAS, ncpu, false)
 	for i := range epb.Vals {
 		epb.Vals[i] = 6 // balanced
@@ -23,6 +25,7 @@ func (s *System) wireMSRs() {
 			c.epbBits = v & 0xF
 		}
 	}
+	s.epbMSR = epb
 	dev.Implement(msr.IA32_ENERGY_PERF_BIAS, epb)
 
 	// MSR_RAPL_POWER_UNIT: fixed units (power 1/8 W, energy 2^-14 J,
@@ -76,6 +79,7 @@ func (s *System) wireMSRs() {
 			panic(err) // cpu validated by PerCPU bounds
 		}
 	}
+	s.perfctlMSR = perfctl
 	dev.Implement(msr.IA32_PERF_CTL, perfctl)
 	dev.Implement(msr.IA32_PERF_STATUS, &msr.Func{
 		Reg: msr.IA32_PERF_STATUS,
@@ -127,9 +131,9 @@ func (s *System) wireMSRs() {
 	// MSR_PKG_POWER_LIMIT: package-scoped, writable; bits 14:0 carry the
 	// limit in 1/8 W units, bit 15 enables it. Writes reprogram the
 	// PCU's enforced limit (the hardware-enforced power bound path).
-	limits := make([]uint64, s.Sockets())
-	for i := range limits {
-		limits[i] = uint64(spec.Power.TDP*8) | 1<<15
+	s.pkgLimitMSR = make([]uint64, s.Sockets())
+	for i := range s.pkgLimitMSR {
+		s.pkgLimitMSR[i] = uint64(spec.Power.TDP*8) | 1<<15
 	}
 	dev.Implement(msr.MSR_PKG_POWER_LIMIT, &msr.Func{
 		Reg: msr.MSR_PKG_POWER_LIMIT,
@@ -137,7 +141,7 @@ func (s *System) wireMSRs() {
 			if cpu < 0 || cpu >= ncpu {
 				return 0, &msr.GPFault{Reg: msr.MSR_PKG_POWER_LIMIT, CPU: cpu}
 			}
-			return limits[s.SocketOf(cpu)], nil
+			return s.pkgLimitMSR[s.SocketOf(cpu)], nil
 		},
 		WriteFn: func(cpu int, v uint64) error {
 			if cpu < 0 || cpu >= ncpu {
@@ -145,7 +149,7 @@ func (s *System) wireMSRs() {
 			}
 			s.integrateTo(s.Engine.Now())
 			sock := s.SocketOf(cpu)
-			limits[sock] = v
+			s.pkgLimitMSR[sock] = v
 			s.trace.Emitf(s.Engine.Now(), trace.PowerLimit, sock, -1, "raw %#x", v)
 			if v&(1<<15) != 0 {
 				s.sockets[sock].PCU.SetTDPWatts(float64(v&0x7FFF) / 8)
@@ -160,9 +164,9 @@ func (s *System) wireMSRs() {
 	// MSR_UNCORE_RATIO_LIMIT (Section II-D): undocumented when the paper
 	// shipped, later documented as max ratio in bits 6:0 and min ratio
 	// in bits 14:8. Writes bound the UFS decisions.
-	uncLimits := make([]uint64, s.Sockets())
-	for i := range uncLimits {
-		uncLimits[i] = uint64(spec.UncoreMaxMHz/100) | uint64(spec.UncoreMinMHz/100)<<8
+	s.uncLimitMSR = make([]uint64, s.Sockets())
+	for i := range s.uncLimitMSR {
+		s.uncLimitMSR[i] = uint64(spec.UncoreMaxMHz/100) | uint64(spec.UncoreMinMHz/100)<<8
 	}
 	dev.Implement(msr.MSR_UNCORE_RATIO_LIMIT, &msr.Func{
 		Reg: msr.MSR_UNCORE_RATIO_LIMIT,
@@ -170,7 +174,7 @@ func (s *System) wireMSRs() {
 			if cpu < 0 || cpu >= ncpu {
 				return 0, &msr.GPFault{Reg: msr.MSR_UNCORE_RATIO_LIMIT, CPU: cpu}
 			}
-			return uncLimits[s.SocketOf(cpu)], nil
+			return s.uncLimitMSR[s.SocketOf(cpu)], nil
 		},
 		WriteFn: func(cpu int, v uint64) error {
 			if cpu < 0 || cpu >= ncpu {
@@ -178,11 +182,22 @@ func (s *System) wireMSRs() {
 			}
 			s.integrateTo(s.Engine.Now())
 			sock := s.SocketOf(cpu)
-			uncLimits[sock] = v
+			s.uncLimitMSR[sock] = v
 			max := uarch.MHz(v&0x7F) * 100
 			min := uarch.MHz((v>>8)&0x7F) * 100
 			s.sockets[sock].PCU.SetUncoreLimits(min, max)
 			return nil
 		},
 	})
+}
+
+// copyMSRState copies another system's mutable register values into this
+// (freshly wired) system. Raw values only — the effects of past writes
+// (EPB bits, PCU limits) travel with the cloned components, so no
+// OnWrite side effects are replayed.
+func (s *System) copyMSRState(from *System) {
+	copy(s.epbMSR.Vals, from.epbMSR.Vals)
+	copy(s.perfctlMSR.Vals, from.perfctlMSR.Vals)
+	copy(s.pkgLimitMSR, from.pkgLimitMSR)
+	copy(s.uncLimitMSR, from.uncLimitMSR)
 }

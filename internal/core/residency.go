@@ -42,6 +42,15 @@ func (r *residency) add(spec *uarch.Spec, f uarch.MHz, cs cstate.State, dt sim.T
 	}
 }
 
+// clone returns an independent copy of the accumulator.
+func (r *residency) clone() residency {
+	c := *r
+	if r.pstate != nil {
+		c.pstate = append([]sim.Time(nil), r.pstate...)
+	}
+	return c
+}
+
 // Residency is a copyable report of where a core spent its time.
 type Residency struct {
 	PState map[uarch.MHz]sim.Time

@@ -45,6 +45,9 @@ type Socket struct {
 	// tickFn is the persistent PCU grid-tick callback (one closure per
 	// socket instead of one per tick).
 	tickFn sim.Event
+	// tickEv identifies the pending grid-tick event so Fork can re-arm
+	// it declaratively on the child engine.
+	tickEv sim.EventID
 	// Energy accumulated since the last PCU tick: the RAPL input to the
 	// TDP controller.
 	tickJoules  float64
@@ -150,7 +153,7 @@ func (sk *Socket) scheduleNextTick(at sim.Time) {
 	if at < sk.sys.Engine.Now() {
 		at = sk.sys.Engine.Now()
 	}
-	sk.sys.Engine.At(at, sk.tickFn)
+	sk.tickEv = sk.sys.Engine.At(at, sk.tickFn)
 }
 
 // gridTick is the persistent PCU grid event: evaluate, then re-arm with

@@ -109,6 +109,17 @@ type System struct {
 
 	epb pcu.EPB
 
+	// Mutable MSR backing state, held as fields (not handler closure
+	// locals) so Fork can copy it wholesale; wireMSRs populates them.
+	epbMSR      *msr.PerCPU
+	perfctlMSR  *msr.PerCPU
+	pkgLimitMSR []uint64
+	uncLimitMSR []uint64
+
+	// meterEv identifies the meter's periodic sample event so Fork can
+	// re-arm it declaratively on the child engine.
+	meterEv sim.EventID
+
 	// statesBuf is refreshPackageStates' scratch (hot on wake-heavy
 	// workloads; one buffer instead of one slice per refresh).
 	statesBuf []cstate.State
@@ -162,7 +173,7 @@ func NewSystem(cfg Config) (*System, error) {
 	for _, sk := range s.sockets {
 		sk.scheduleNextTick(sk.pcuPhase)
 	}
-	s.Engine.Every(power.SamplePeriod, power.SamplePeriod, s.meterTick)
+	s.meterEv = s.Engine.EveryID(power.SamplePeriod, power.SamplePeriod, s.meterTick)
 	// Prime the integrator and resolve initial package states (all
 	// cores idle: both packages sink into deep package sleep).
 	s.refreshPackageStates()

@@ -71,13 +71,19 @@ func (r *AblationResult) Metric(label, metric string) float64 {
 // transitions (the Section VI-A finding).
 func AblationPstateGrid(o Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "p-state opportunity grid (500 us) vs immediate transitions"}
-	for _, variant := range []struct {
+	// Each variant changes the platform spec, so there is no shared
+	// parent to fork; the variants run concurrently as independent
+	// builds (same numbers as the serial loop, in variant order).
+	type gridVariant struct {
 		label  string
 		gridUS float64
-	}{
+	}
+	variants := []gridVariant{
 		{"grid 500us (Haswell-EP)", 500},
 		{"immediate (pre-Haswell)", 0},
-	} {
+	}
+	samples := o.count(200)
+	out, err := parallelMap(variants, func(variant gridVariant) (AblationVariant, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		spec := *cfg.Spec
@@ -89,25 +95,25 @@ func AblationPstateGrid(o Options) (*AblationResult, error) {
 		cfg.Spec = &spec
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		if err := sys.AssignKernel(0, workload.BusyWait(), 1); err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		sys.SetPState(0, 1200)
 		sys.Run(10 * sim.Millisecond)
 		rng := sim.NewRNG(o.Seed + 77)
-		var lats []float64
+		lats := make([]float64, 0, samples)
 		target := uarch.MHz(1300)
-		for i := 0; i < o.count(200); i++ {
+		for i := 0; i < samples; i++ {
 			sys.Run(sim.Time(rng.Uniform(0.3, 1.5) * float64(sim.Millisecond)))
 			if err := sys.SetPState(0, target); err != nil {
-				return nil, err
+				return AblationVariant{}, err
 			}
 			sys.Run(1500 * sim.Microsecond)
 			tr, ok := sys.Core(0).Domain().LastTransition()
 			if !ok {
-				return nil, fmt.Errorf("exp: lost transition")
+				return AblationVariant{}, fmt.Errorf("exp: lost transition")
 			}
 			lats = append(lats, tr.Latency().Micros())
 			if target == 1300 {
@@ -117,7 +123,7 @@ func AblationPstateGrid(o Options) (*AblationResult, error) {
 			}
 		}
 		lo, hi := stats.MinMax(lats)
-		res.Variants = append(res.Variants, AblationVariant{
+		return AblationVariant{
 			Label: variant.label,
 			Metrics: map[string]float64{
 				"mean_us":   stats.Mean(lats),
@@ -125,8 +131,12 @@ func AblationPstateGrid(o Options) (*AblationResult, error) {
 				"min_us":    lo,
 				"max_us":    hi,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Variants = out
 	return res, nil
 }
 
@@ -137,43 +147,53 @@ func AblationPstateGrid(o Options) (*AblationResult, error) {
 func AblationUFS(o Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "uncore clock policy -> DRAM bandwidth at 1.2 GHz cores"}
 	dur := o.dur(sim.Second)
-	run := func(label string, mutate func(*core.Config)) error {
+	// Each policy is a different platform config, so the variants build
+	// their own parent; the two frequency points within a variant fork
+	// it. Variants run concurrently, results in variant order.
+	type ufsVariant struct {
+		label  string
+		mutate func(*core.Config)
+	}
+	variants := []ufsVariant{
+		{"UFS (Haswell-EP)", func(c *core.Config) {}},
+		{"coupled (Sandy Bridge-like)", func(c *core.Config) {
+			spec := *c.Spec
+			spec.UncorePolicy = uarch.UncoreCoupled
+			c.Spec = &spec
+		}},
+		{"fixed-max (Westmere-like)", func(c *core.Config) {
+			c.UFSEnabled = false
+		}},
+	}
+	out, err := parallelMap(variants, func(v ufsVariant) (AblationVariant, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
-		mutate(&cfg)
-		base, err := bwAt(cfg, LevelDRAM, cfg.Spec.BaseMHz, dur)
+		v.mutate(&cfg)
+		parent, err := core.NewSystem(cfg)
 		if err != nil {
-			return err
+			return AblationVariant{}, err
 		}
-		low, err := bwAt(cfg, LevelDRAM, cfg.Spec.MinMHz, dur)
+		base, err := bwAt(parent, LevelDRAM, cfg.Spec.BaseMHz, dur)
 		if err != nil {
-			return err
+			return AblationVariant{}, err
 		}
-		res.Variants = append(res.Variants, AblationVariant{
-			Label: label,
+		low, err := bwAt(parent, LevelDRAM, cfg.Spec.MinMHz, dur)
+		if err != nil {
+			return AblationVariant{}, err
+		}
+		return AblationVariant{
+			Label: v.label,
 			Metrics: map[string]float64{
 				"bw_base_gbs": base,
 				"bw_min_gbs":  low,
 				"relative":    low / base,
 			},
-		})
-		return nil
-	}
-	if err := run("UFS (Haswell-EP)", func(c *core.Config) {}); err != nil {
+		}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("coupled (Sandy Bridge-like)", func(c *core.Config) {
-		spec := *c.Spec
-		spec.UncorePolicy = uarch.UncoreCoupled
-		c.Spec = &spec
-	}); err != nil {
-		return nil, err
-	}
-	if err := run("fixed-max (Westmere-like)", func(c *core.Config) {
-		c.UFSEnabled = false
-	}); err != nil {
-		return nil, err
-	}
+	res.Variants = out
 	return res, nil
 }
 
@@ -216,47 +236,62 @@ func fig2WithMode(mode uarch.RAPLMode, o Options) (*Fig2Result, error) {
 
 	res := &Fig2Result{Arch: uarch.HaswellEP, PerWorkloadBias: map[string]float64{}}
 	avgDur := o.dur(4 * sim.Second)
+	// Same shape as Fig2 proper: one idle parent, a fork per
+	// (kernel, concurrency) point, points run concurrently.
+	parent, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		k workload.Kernel
+		n int
+	}
+	var jobs []job
 	for _, k := range workload.Fig2Set() {
 		counts := []int{1, 4, 12, 24}
 		if k == nil {
 			counts = []int{0}
 		}
 		for _, n := range counts {
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			for cpu := 0; cpu < n; cpu++ {
-				if err := sys.AssignKernel(cpu, k, 2); err != nil {
-					return nil, err
-				}
-			}
-			sys.RequestTurbo()
-			sys.Run(o.dur(sim.Second))
-			start := sys.Now()
-			before := make([]core.RAPLReading, sys.Sockets())
-			for s := range before {
-				before[s], err = sys.ReadRAPL(s)
-				if err != nil {
-					return nil, err
-				}
-			}
-			sys.Run(avgDur)
-			rapl := 0.0
-			for s := range before {
-				after, err := sys.ReadRAPL(s)
-				if err != nil {
-					return nil, err
-				}
-				p, d := sys.RAPLPowerW(before[s], after)
-				rapl += p + d
-			}
-			res.Points = append(res.Points, Fig2Point{
-				Workload: workload.NameOf(k), Cores: n,
-				ACW: sys.Meter().Average(start, sys.Now()), RAPLW: rapl,
-			})
+			jobs = append(jobs, job{k: k, n: n})
 		}
 	}
+	points, err := forkMap(parent, jobs, func(sys *core.System, j job) (Fig2Point, error) {
+		for cpu := 0; cpu < j.n; cpu++ {
+			if err := sys.AssignKernel(cpu, j.k, 2); err != nil {
+				return Fig2Point{}, err
+			}
+		}
+		sys.RequestTurbo()
+		sys.Run(o.dur(sim.Second))
+		start := sys.Now()
+		before := make([]core.RAPLReading, sys.Sockets())
+		for s := range before {
+			r, err := sys.ReadRAPL(s)
+			if err != nil {
+				return Fig2Point{}, err
+			}
+			before[s] = r
+		}
+		sys.Run(avgDur)
+		rapl := 0.0
+		for s := range before {
+			after, err := sys.ReadRAPL(s)
+			if err != nil {
+				return Fig2Point{}, err
+			}
+			p, d := sys.RAPLPowerW(before[s], after)
+			rapl += p + d
+		}
+		return Fig2Point{
+			Workload: workload.NameOf(j.k), Cores: j.n,
+			ACW: sys.Meter().Average(start, sys.Now()), RAPLW: rapl,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	xs := make([]float64, len(res.Points))
 	ys := make([]float64, len(res.Points))
 	for i, p := range res.Points {
@@ -291,49 +326,57 @@ func AblationEET(o Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "energy-efficient turbo vs phase-change rate"}
 	compute := workload.Profile{IPC1: 2.2, IPC2: 2.6, Activity: 0.85}
 	stall := workload.Profile{IPC1: 2.0, IPC2: 2.4, Activity: 0.45, MemBytesPerInst: 8}
-	for _, variant := range []struct {
+	// EET on/off is a platform-config difference: independent builds,
+	// run concurrently, results in variant order.
+	type eetVariant struct {
 		label string
 		eet   bool
 		half  sim.Time
-	}{
+	}
+	variants := []eetVariant{
 		{"EET on, slow phases (50 ms)", true, 50 * sim.Millisecond},
 		{"EET off, slow phases (50 ms)", false, 50 * sim.Millisecond},
 		{"EET on, 1.5 ms phases (unfavorable)", true, 1500 * sim.Microsecond},
 		{"EET off, 1.5 ms phases", false, 1500 * sim.Microsecond},
-	} {
+	}
+	out, err := parallelMap(variants, func(variant eetVariant) (AblationVariant, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		cfg.EETEnabled = variant.eet
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		k := &workload.Phased{Label: "phased", A: compute, B: stall, HalfPeriod: variant.half}
 		if err := sys.AssignKernel(0, k, 1); err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		sys.RequestTurbo()
 		sys.Run(o.dur(sim.Second))
 		a, err := sys.ReadRAPL(0)
 		if err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		iv := sys.MeasureCore(0, o.dur(4*sim.Second))
 		b, err := sys.ReadRAPL(0)
 		if err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		pkgW, _ := sys.RAPLPowerW(a, b)
 		gips := iv.GIPS()
-		res.Variants = append(res.Variants, AblationVariant{
+		return AblationVariant{
 			Label: variant.label,
 			Metrics: map[string]float64{
 				"gips":             gips,
 				"pkg_w":            pkgW,
 				"joules_per_ginst": pkgW / gips,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Variants = out
 	return res, nil
 }
 
@@ -342,23 +385,25 @@ func AblationEET(o Options) (*AblationResult, error) {
 // below the sustainable point just leaves budget stranded.
 func AblationBudget(o Options) (*AblationResult, error) {
 	res := &AblationResult{Name: "TDP budget trading (core <-> uncore)"}
-	for _, variant := range []struct {
+	type budgetVariant struct {
 		label   string
 		trading bool
-	}{
+	}
+	variants := []budgetVariant{
 		{"trading on (Haswell-EP)", true},
 		{"trading off", false},
-	} {
+	}
+	out, err := parallelMap(variants, func(variant budgetVariant) (AblationVariant, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		cfg.BudgetTrading = variant.trading
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return AblationVariant{}, err
 		}
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			if err := sys.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
-				return nil, err
+				return AblationVariant{}, err
 			}
 		}
 		sys.SetPStateAll(2200)
@@ -366,14 +411,18 @@ func AblationBudget(o Options) (*AblationResult, error) {
 		ua := sys.Socket(0).UncoreSnapshot()
 		iv := sys.MeasureCore(0, o.dur(2*sim.Second))
 		ub := sys.Socket(0).UncoreSnapshot()
-		res.Variants = append(res.Variants, AblationVariant{
+		return AblationVariant{
 			Label: variant.label,
 			Metrics: map[string]float64{
 				"core_ghz":   iv.FreqGHz(),
 				"uncore_ghz": perfctr.UncoreFreqGHz(ua, ub),
 				"gips":       iv.GIPS() / 2,
 			},
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Variants = out
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"hswsim/internal/core"
 	"hswsim/internal/perfctr"
 	"hswsim/internal/report"
 	"hswsim/internal/sim"
@@ -32,11 +33,12 @@ func KernelCatalogStudy(o Options) ([]KernelCharacter, *report.Table, error) {
 	}
 	kernels = append(kernels, workload.HPCKernels()...)
 
-	chars, err := parallelMap(kernels, func(k workload.Kernel) (KernelCharacter, error) {
-		sys, err := o.newHSW()
-		if err != nil {
-			return KernelCharacter{}, err
-		}
+	// One idle parent platform; each kernel characterizes on its own fork.
+	parent, err := o.newHSW()
+	if err != nil {
+		return nil, nil, err
+	}
+	chars, err := forkMap(parent, kernels, func(sys *core.System, k workload.Kernel) (KernelCharacter, error) {
 		for cpu := 0; cpu < 12; cpu++ {
 			if err := sys.AssignKernel(cpu, k, 2); err != nil {
 				return KernelCharacter{}, err

@@ -31,36 +31,41 @@ type PowerCapPoint struct {
 // Rountree et al. that the paper cites when warning about
 // manufacturing-variability-induced performance imbalance.
 func PowerCapStudy(o Options) ([]PowerCapPoint, *report.Table, error) {
-	var points []PowerCapPoint
-	for _, cap := range []float64{120, 100, 85, 70, 55} {
-		sys, err := o.newHSW()
-		if err != nil {
+	// The FIRESTARTER-at-turbo placement is the same for every cap:
+	// warm it once, fork per cap and program the limit on the fork.
+	parent, err := o.newHSW()
+	if err != nil {
+		return nil, nil, err
+	}
+	for cpu := 0; cpu < parent.CPUs(); cpu++ {
+		if err := parent.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
 			return nil, nil, err
 		}
-		for cpu := 0; cpu < sys.CPUs(); cpu++ {
-			if err := sys.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
-				return nil, nil, err
+	}
+	parent.RequestTurbo()
+	points, err := forkMap(parent, []float64{120, 100, 85, 70, 55},
+		func(sys *core.System, cap float64) (PowerCapPoint, error) {
+			for s := 0; s < sys.Sockets(); s++ {
+				if err := sys.SetPowerLimitW(s, cap); err != nil {
+					return PowerCapPoint{}, err
+				}
 			}
-		}
-		sys.RequestTurbo()
-		for s := 0; s < sys.Sockets(); s++ {
-			if err := sys.SetPowerLimitW(s, cap); err != nil {
-				return nil, nil, err
-			}
-		}
-		sys.Run(o.dur(2 * sim.Second))
-		p := PowerCapPoint{CapW: cap}
-		dur := o.dur(2 * sim.Second)
-		a0 := sys.Core(0).Snapshot()
-		a1 := sys.Core(sys.Spec().Cores).Snapshot()
-		sys.Run(dur)
-		iv0 := perfctr.Delta(a0, sys.Core(0).Snapshot())
-		iv1 := perfctr.Delta(a1, sys.Core(sys.Spec().Cores).Snapshot())
-		p.CoreGHz[0], p.CoreGHz[1] = iv0.FreqGHz(), iv1.FreqGHz()
-		p.GIPSTotal = (iv0.GIPS() + iv1.GIPS()) * float64(sys.Spec().Cores) / 2
-		p.PkgW[0] = sys.Socket(0).LastPkgPowerW()
-		p.PkgW[1] = sys.Socket(1).LastPkgPowerW()
-		points = append(points, p)
+			sys.Run(o.dur(2 * sim.Second))
+			p := PowerCapPoint{CapW: cap}
+			dur := o.dur(2 * sim.Second)
+			a0 := sys.Core(0).Snapshot()
+			a1 := sys.Core(sys.Spec().Cores).Snapshot()
+			sys.Run(dur)
+			iv0 := perfctr.Delta(a0, sys.Core(0).Snapshot())
+			iv1 := perfctr.Delta(a1, sys.Core(sys.Spec().Cores).Snapshot())
+			p.CoreGHz[0], p.CoreGHz[1] = iv0.FreqGHz(), iv1.FreqGHz()
+			p.GIPSTotal = (iv0.GIPS() + iv1.GIPS()) * float64(sys.Spec().Cores) / 2
+			p.PkgW[0] = sys.Socket(0).LastPkgPowerW()
+			p.PkgW[1] = sys.Socket(1).LastPkgPowerW()
+			return p, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("Power-cap sweep: FIRESTARTER under programmed package limits",
 		"Cap [W]", "Core p0 [GHz]", "Core p1 [GHz]", "Pkg p0 [W]", "Pkg p1 [W]", "Total GIPS")
@@ -91,54 +96,62 @@ func IdleTableStudy(o Options) ([]IdleTableVariant, *report.Table, error) {
 		period = 100 * sim.Microsecond
 		work   = 20 * sim.Microsecond
 	)
-	var out []IdleTableVariant
-	for _, v := range []struct {
+	// Both variants drive the same idle platform; fork it per governor.
+	// The per-cpu periodic closures are armed on the fork (after the
+	// fork point), so each variant's experiment events bind its own
+	// platform.
+	parent, err := o.newHSW()
+	if err != nil {
+		return nil, nil, err
+	}
+	type idleVariant struct {
 		label string
 		gov   *governor.IdleGovernor
-	}{
+	}
+	variants := []idleVariant{
 		{"ACPI tables (33/133 us)", governor.ACPIIdleGovernor()},
 		{"measured tables", governor.MeasuredIdleGovernor(uarch.HaswellEP)},
-	} {
-		sys, err := o.newHSW()
-		if err != nil {
-			return nil, nil, err
-		}
-		pick := v.gov.Pick(period - work)
-		// Drive every core with the periodic task; the governor's state
-		// choice applies during each idle window.
-		var tick func(cpu int) func(sim.Time)
-		tick = func(cpu int) func(sim.Time) {
-			return func(now sim.Time) {
-				if err := sys.AssignKernel(cpu, workload.Compute(), 1); err != nil {
-					panic(err)
+	}
+	out, err := forkMap(parent, variants,
+		func(sys *core.System, v idleVariant) (IdleTableVariant, error) {
+			pick := v.gov.Pick(period - work)
+			// Drive every core with the periodic task; the governor's state
+			// choice applies during each idle window.
+			tick := func(cpu int) func(sim.Time) {
+				return func(now sim.Time) {
+					if err := sys.AssignKernel(cpu, workload.Compute(), 1); err != nil {
+						panic(err)
+					}
+					sys.Engine.At(now+work, func(t sim.Time) {
+						if err := sys.AssignKernel(cpu, nil, 1); err != nil {
+							panic(err)
+						}
+						if err := sys.SleepCore(cpu, pick); err != nil {
+							panic(err)
+						}
+					})
 				}
-				sys.Engine.At(now+work, func(t sim.Time) {
-					if err := sys.AssignKernel(cpu, nil, 1); err != nil {
-						panic(err)
-					}
-					if err := sys.SleepCore(cpu, pick); err != nil {
-						panic(err)
-					}
-				})
 			}
-		}
-		for cpu := 0; cpu < sys.CPUs(); cpu++ {
-			sys.Engine.Every(sim.Time(cpu)*3*sim.Microsecond, period, tick(cpu))
-		}
-		settle := o.dur(500 * sim.Millisecond)
-		meas := o.dur(sim.Second)
-		sys.Run(settle)
-		a, err := sys.ReadRAPL(0)
-		if err != nil {
-			return nil, nil, err
-		}
-		sys.Run(meas)
-		b, err := sys.ReadRAPL(0)
-		if err != nil {
-			return nil, nil, err
-		}
-		pkgW, _ := sys.RAPLPowerW(a, b)
-		out = append(out, IdleTableVariant{Label: v.label, StatePick: pick, PkgW: pkgW})
+			for cpu := 0; cpu < sys.CPUs(); cpu++ {
+				sys.Engine.Every(sim.Time(cpu)*3*sim.Microsecond, period, tick(cpu))
+			}
+			settle := o.dur(500 * sim.Millisecond)
+			meas := o.dur(sim.Second)
+			sys.Run(settle)
+			a, err := sys.ReadRAPL(0)
+			if err != nil {
+				return IdleTableVariant{}, err
+			}
+			sys.Run(meas)
+			b, err := sys.ReadRAPL(0)
+			if err != nil {
+				return IdleTableVariant{}, err
+			}
+			pkgW, _ := sys.RAPLPowerW(a, b)
+			return IdleTableVariant{Label: v.label, StatePick: pick, PkgW: pkgW}, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("Idle-table study: 20 us work / 80 us idle on all cores",
 		"Governor tables", "State chosen", "Package power [W]")
@@ -170,14 +183,18 @@ func DVFSDynamicStudy(o Options) ([]DVFSDynamicVariant, *report.Table, error) {
 		B:          workload.Profile{IPC1: 2.0, IPC2: 2.4, Activity: 0.5, MemBytesPerInst: 8},
 		HalfPeriod: 3 * sim.Millisecond,
 	}
-	var out []DVFSDynamicVariant
-	for _, v := range []struct {
+	// The two variants run on different platform specs (a governor timer
+	// is armed before any measurement, so there is no quiescent instant
+	// to fork); each builds its own platform and they run concurrently.
+	type dvfsVariant struct {
 		label     string
 		immediate bool
-	}{
+	}
+	variants := []dvfsVariant{
 		{"500 us grid (Haswell-EP)", false},
 		{"immediate transitions", true},
-	} {
+	}
+	out, err := parallelMap(variants, func(v dvfsVariant) (DVFSDynamicVariant, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		if v.immediate {
@@ -189,13 +206,13 @@ func DVFSDynamicStudy(o Options) ([]DVFSDynamicVariant, *report.Table, error) {
 		}
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, nil, err
+			return DVFSDynamicVariant{}, err
 		}
 		cpus := make([]int, cfg.Spec.Cores)
 		for cpu := range cpus {
 			cpus[cpu] = cpu
 			if err := sys.AssignKernel(cpu, phased, 2); err != nil {
-				return nil, nil, err
+				return DVFSDynamicVariant{}, err
 			}
 		}
 		sys.RequestTurbo()
@@ -204,14 +221,14 @@ func DVFSDynamicStudy(o Options) ([]DVFSDynamicVariant, *report.Table, error) {
 		sys.Run(o.dur(sim.Second))
 		a, err := sys.ReadRAPL(0)
 		if err != nil {
-			return nil, nil, err
+			return DVFSDynamicVariant{}, err
 		}
 		snap := sys.Core(0).Snapshot()
 		sys.Run(o.dur(4 * sim.Second))
 		iv := perfctr.Delta(snap, sys.Core(0).Snapshot())
 		b, err := sys.ReadRAPL(0)
 		if err != nil {
-			return nil, nil, err
+			return DVFSDynamicVariant{}, err
 		}
 		pkgW, dramW := sys.RAPLPowerW(a, b)
 		r.Stop()
@@ -223,7 +240,10 @@ func DVFSDynamicStudy(o Options) ([]DVFSDynamicVariant, *report.Table, error) {
 		if gips > 0 {
 			res.JoulePerGig = res.PkgW / gips
 		}
-		out = append(out, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("Dynamic DVFS: stall-chasing governor on 3 ms phases",
 		"Platform", "GIPS", "pkg+DRAM [W]", "J per Ginst", "transitions")

@@ -71,11 +71,13 @@ func Fig2(gen uarch.Generation, o Options) (*Fig2Result, error) {
 			}
 		}
 	}
-	points, err := parallelMap(jobs, func(j job) (Fig2Point, error) {
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return Fig2Point{}, err
-		}
+	// Every (kernel, concurrency) point runs on its own fork of one
+	// shared idle parent platform.
+	parent, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	points, err := forkMap(parent, jobs, func(sys *core.System, j job) (Fig2Point, error) {
 		for cpu := 0; cpu < j.n; cpu++ {
 			if err := sys.AssignKernel(cpu, j.k, 2); err != nil {
 				return Fig2Point{}, err

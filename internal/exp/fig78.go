@@ -100,8 +100,20 @@ func Fig7(o Options) (*Fig7Result, error) {
 		f     uarch.MHz
 	}
 	var jobs []job
+	// One idle parent platform per generation; every (level, frequency)
+	// point measures on its own fork of its generation's parent.
+	parents := map[uarch.Generation]*core.System{}
 	for _, gen := range []uarch.Generation{uarch.HaswellEP, uarch.SandyBridgeEP, uarch.WestmereEP} {
-		spec := configFor(gen).Spec
+		cfg := configFor(gen)
+		if o.Seed != 0 {
+			cfg.Seed = o.Seed
+		}
+		parent, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		parents[gen] = parent
+		spec := cfg.Spec
 		freqs := spec.PStates()
 		// Parts whose p-state step does not divide the range (Westmere's
 		// 133 MHz bins) need the base frequency added explicitly for the
@@ -116,11 +128,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 		}
 	}
 	bws, err := parallelMap(jobs, func(j job) (float64, error) {
-		cfg := configFor(j.gen)
-		if o.Seed != 0 {
-			cfg.Seed = o.Seed
-		}
-		return bwAt(cfg, j.level, j.f, dur)
+		return bwAt(parents[j.gen], j.level, j.f, dur)
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +140,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 			base[[2]int{int(j.gen), int(j.level)}] = bws[i]
 		}
 	}
+	res.Points = make([]Fig7Point, 0, len(jobs))
 	for i, j := range jobs {
 		rel := 0.0
 		if b := base[[2]int{int(j.gen), int(j.level)}]; b > 0 {
@@ -155,16 +164,18 @@ func configFor(gen uarch.Generation) core.Config {
 	}
 }
 
-// bwAt builds a fresh single-measurement system. The paper measures on
-// processor 1 with processor 0 idle; with deterministic per-socket
-// asymmetry we measure on socket 0's cores of a fresh system and keep
-// the other socket idle, which is equivalent up to the silicon lottery.
-func bwAt(cfg core.Config, level Level, set uarch.MHz, dur sim.Time) (float64, error) {
-	sys, err := core.NewSystem(cfg)
+// bwAt measures one bandwidth point on a fork of the idle parent
+// platform (bitwise-equal to building a fresh system, minus the
+// construction cost). The paper measures on processor 1 with processor
+// 0 idle; with deterministic per-socket asymmetry we measure on socket
+// 0's cores and keep the other socket idle, which is equivalent up to
+// the silicon lottery.
+func bwAt(parent *core.System, level Level, set uarch.MHz, dur sim.Time) (float64, error) {
+	sys, err := parent.Fork()
 	if err != nil {
 		return 0, err
 	}
-	return measureBandwidth(sys, level, cfg.Spec.Cores, cfg.Spec.ThreadsPerCore, set, dur)
+	return measureBandwidth(sys, level, sys.Spec().Cores, sys.Spec().ThreadsPerCore, set, dur)
 }
 
 // Series extracts one (arch, level) relative-bandwidth series.
@@ -234,7 +245,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 	freqs := append([]uarch.MHz{}, spec.PStates()...)
 	freqs = append(freqs, spec.TurboSettingMHz())
 	coreCounts := []int{1, 2, 4, 6, 8, 10, 12}
-	var grid []Fig8Point
+	grid := make([]Fig8Point, 0, 2*2*len(coreCounts)*len(freqs))
 	for _, level := range []Level{LevelL3, LevelDRAM} {
 		for _, threads := range []int{1, 2} {
 			for _, n := range coreCounts {
@@ -246,13 +257,13 @@ func Fig8(o Options) (*Fig8Result, error) {
 			}
 		}
 	}
-	// Each grid point runs on its own platform: embarrassingly
-	// parallel without affecting determinism.
-	points, err := parallelMap(grid, func(p Fig8Point) (Fig8Point, error) {
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return p, err
-		}
+	// Each grid point runs on its own fork of one shared idle parent:
+	// embarrassingly parallel without affecting determinism.
+	parent, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	points, err := forkMap(parent, grid, func(sys *core.System, p Fig8Point) (Fig8Point, error) {
 		bw, err := measureBandwidth(sys, p.Level, p.Cores, p.Threads,
 			uarch.MHz(p.FreqGHz*1000+0.5), dur)
 		if err != nil {

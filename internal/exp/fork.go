@@ -1,0 +1,25 @@
+package exp
+
+import "hswsim/internal/core"
+
+// forkMap runs fn over items on the shared slot pool, handing each item
+// an independent fork of the warmed parent platform. A fork carries the
+// parent's exact state — virtual clock, event tie-break order, RNG
+// stream positions, component state — so each sweep point behaves
+// exactly as if it alone had continued the parent, regardless of how
+// many points run concurrently. Results come back in item order, which
+// keeps rendered output byte-identical to a serial sweep.
+//
+// The parent must be quiescent (only platform timers pending) and is
+// never mutated: System.Fork is read-only on an integrated platform,
+// so any number of points may fork it at once.
+func forkMap[T, R any](parent *core.System, items []T, fn func(*core.System, T) (R, error)) ([]R, error) {
+	return parallelMap(items, func(it T) (R, error) {
+		sys, err := parent.Fork()
+		if err != nil {
+			var zero R
+			return zero, err
+		}
+		return fn(sys, it)
+	})
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"hswsim/internal/core"
 	"hswsim/internal/perfctr"
 	"hswsim/internal/report"
 	"hswsim/internal/sim"
@@ -20,45 +21,58 @@ type NUMAPoint struct {
 // platform: QPI latency dominates at low concurrency, QPI bandwidth at
 // saturation.
 func NUMAStudy(o Options) ([]NUMAPoint, *report.Table, error) {
-	var points []NUMAPoint
 	dur := o.dur(2 * sim.Second)
+	// One idle parent platform; each (cores, remote) placement runs on
+	// its own fork with the stream kernel assigned post-fork.
+	parent, err := o.newHSW()
+	if err != nil {
+		return nil, nil, err
+	}
+	type numaJob struct {
+		cores  int
+		remote float64
+	}
+	jobs := make([]numaJob, 0, 6)
 	for _, cores := range []int{2, 12} {
 		for _, remote := range []float64{0, 0.5, 1.0} {
-			sys, err := o.newHSW()
-			if err != nil {
-				return nil, nil, err
-			}
-			k := workload.NUMAStream(remote)
-			for cpu := 0; cpu < cores; cpu++ {
+			jobs = append(jobs, numaJob{cores: cores, remote: remote})
+		}
+	}
+	points, err := forkMap(parent, jobs,
+		func(sys *core.System, j numaJob) (NUMAPoint, error) {
+			k := workload.NUMAStream(j.remote)
+			for cpu := 0; cpu < j.cores; cpu++ {
 				if err := sys.AssignKernel(cpu, k, 2); err != nil {
-					return nil, nil, err
+					return NUMAPoint{}, err
 				}
 			}
 			sys.SetPStateAll(2500)
 			sys.Run(50 * sim.Millisecond)
-			before := make([]perfctr.Snapshot, cores)
-			for cpu := 0; cpu < cores; cpu++ {
+			before := make([]perfctr.Snapshot, j.cores)
+			for cpu := 0; cpu < j.cores; cpu++ {
 				before[cpu] = sys.Core(cpu).Snapshot()
 			}
 			a, err := sys.ReadRAPL(0)
 			if err != nil {
-				return nil, nil, err
+				return NUMAPoint{}, err
 			}
 			sys.Run(dur)
 			gbs := 0.0
-			for cpu := 0; cpu < cores; cpu++ {
+			for cpu := 0; cpu < j.cores; cpu++ {
 				iv := perfctr.Delta(before[cpu], sys.Core(cpu).Snapshot())
 				gbs += iv.GIPS() * 8
 			}
 			b, err := sys.ReadRAPL(0)
 			if err != nil {
-				return nil, nil, err
+				return NUMAPoint{}, err
 			}
 			p, d := sys.RAPLPowerW(a, b)
-			points = append(points, NUMAPoint{
-				RemoteFrac: remote, Cores: cores, GBs: gbs, PkgW: p + d,
-			})
-		}
+			return NUMAPoint{
+				RemoteFrac: j.remote, Cores: j.cores, GBs: gbs, PkgW: p + d,
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("NUMA placement: DRAM stream bandwidth by remote fraction",
 		"Cores", "Remote", "GB/s", "pkg+DRAM [W]")

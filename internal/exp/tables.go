@@ -86,31 +86,37 @@ type Table3Row struct {
 
 // Table3 reproduces Table III: uncore frequencies in a single-threaded
 // no-memory-stalls scenario (while(1) on processor 0), across all core
-// frequency settings.
+// frequency settings. The thread is placed once on a shared parent
+// platform and every setting measures on its own fork, so the sweep
+// points start from an identical state (no carry-over from the
+// previous setting) and run concurrently.
 func Table3(o Options) ([]Table3Row, *report.Table, error) {
-	sys, err := o.newHSW()
+	parent, err := o.newHSW()
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := sys.AssignKernel(0, workload.BusyWait(), 1); err != nil {
+	if err := parent.AssignKernel(0, workload.BusyWait(), 1); err != nil {
 		return nil, nil, err
 	}
-	spec := sys.Spec()
+	spec := parent.Spec()
 	measure := o.dur(10 * sim.Second) // paper: 10 s per setting
-	var rows []Table3Row
-	for _, set := range sweepSettings(spec, spec.MinMHz) {
-		sys.SetPStateAll(set)
-		sys.Run(5 * sim.Millisecond) // let the grid apply the setting
-		a0 := sys.Socket(0).UncoreSnapshot()
-		a1 := sys.Socket(1).UncoreSnapshot()
-		sys.Run(measure)
-		b0 := sys.Socket(0).UncoreSnapshot()
-		b1 := sys.Socket(1).UncoreSnapshot()
-		rows = append(rows, Table3Row{
-			Setting:    set,
-			ActiveGHz:  perfctr.UncoreFreqGHz(a0, b0),
-			PassiveGHz: perfctr.UncoreFreqGHz(a1, b1),
+	rows, err := forkMap(parent, sweepSettings(spec, spec.MinMHz),
+		func(sys *core.System, set uarch.MHz) (Table3Row, error) {
+			sys.SetPStateAll(set)
+			sys.Run(5 * sim.Millisecond) // let the grid apply the setting
+			a0 := sys.Socket(0).UncoreSnapshot()
+			a1 := sys.Socket(1).UncoreSnapshot()
+			sys.Run(measure)
+			b0 := sys.Socket(0).UncoreSnapshot()
+			b1 := sys.Socket(1).UncoreSnapshot()
+			return Table3Row{
+				Setting:    set,
+				ActiveGHz:  perfctr.UncoreFreqGHz(a0, b0),
+				PassiveGHz: perfctr.UncoreFreqGHz(a1, b1),
+			}, nil
 		})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("Table III: uncore frequencies, single-threaded no-memory-stalls (thread on processor 0)",
 		"Core frequency setting", "Active uncore [GHz]", "Passive uncore [GHz]")
@@ -139,49 +145,57 @@ func Table4(o Options) ([]Table4Row, *report.Table, error) {
 	spec := uarch.E52680v3()
 	samples := o.count(50)
 	sampleDur := o.dur(sim.Second)
-	var rows []Table4Row
-	for _, set := range sweepSettings(spec, 2100) {
-		// Fresh platform per setting: identical thermal starting state
-		// makes the per-setting comparison deterministic.
-		sys, err := o.newHSW()
-		if err != nil {
+	// The FIRESTARTER placement is identical for every setting: build it
+	// once and fork per sweep point — bitwise-equal to the fresh platform
+	// per setting the serial version built (identical thermal starting
+	// state), minus the repeated construction.
+	parent, err := o.newHSW()
+	if err != nil {
+		return nil, nil, err
+	}
+	for cpu := 0; cpu < parent.CPUs(); cpu++ {
+		if err := parent.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
 			return nil, nil, err
 		}
-		for cpu := 0; cpu < sys.CPUs(); cpu++ {
-			if err := sys.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
-				return nil, nil, err
-			}
-		}
-		sys.SetPStateAll(set)
-		sys.Run(o.dur(2 * sim.Second)) // settle the TDP controller
-		row := Table4Row{Setting: set}
-		for sock := 0; sock < 2; sock++ {
-			cpu := sock * spec.Cores // sample one core per processor
-			var fs, us, gs, ps []float64
-			for i := 0; i < samples; i++ {
-				ua := sys.Socket(sock).UncoreSnapshot()
-				ra, err := sys.ReadRAPL(sock)
-				if err != nil {
-					return nil, nil, err
+	}
+	rows, err := forkMap(parent, sweepSettings(spec, 2100),
+		func(sys *core.System, set uarch.MHz) (Table4Row, error) {
+			sys.SetPStateAll(set)
+			sys.Run(o.dur(2 * sim.Second)) // settle the TDP controller
+			row := Table4Row{Setting: set}
+			for sock := 0; sock < 2; sock++ {
+				cpu := sock * spec.Cores // sample one core per processor
+				fs := make([]float64, 0, samples)
+				us := make([]float64, 0, samples)
+				gs := make([]float64, 0, samples)
+				ps := make([]float64, 0, samples)
+				for i := 0; i < samples; i++ {
+					ua := sys.Socket(sock).UncoreSnapshot()
+					ra, err := sys.ReadRAPL(sock)
+					if err != nil {
+						return Table4Row{}, err
+					}
+					iv := sys.MeasureCore(cpu, sampleDur)
+					ub := sys.Socket(sock).UncoreSnapshot()
+					rb, err := sys.ReadRAPL(sock)
+					if err != nil {
+						return Table4Row{}, err
+					}
+					pkgW, _ := sys.RAPLPowerW(ra, rb)
+					fs = append(fs, iv.FreqGHz())
+					us = append(us, perfctr.UncoreFreqGHz(ua, ub))
+					gs = append(gs, iv.GIPS()/2) // per hardware thread
+					ps = append(ps, pkgW)
 				}
-				iv := sys.MeasureCore(cpu, sampleDur)
-				ub := sys.Socket(sock).UncoreSnapshot()
-				rb, err := sys.ReadRAPL(sock)
-				if err != nil {
-					return nil, nil, err
-				}
-				pkgW, _ := sys.RAPLPowerW(ra, rb)
-				fs = append(fs, iv.FreqGHz())
-				us = append(us, perfctr.UncoreFreqGHz(ua, ub))
-				gs = append(gs, iv.GIPS()/2) // per hardware thread
-				ps = append(ps, pkgW)
+				row.CoreGHz[sock] = stats.Median(fs)
+				row.UncoreGHz[sock] = stats.Median(us)
+				row.GIPSThread[sock] = stats.Median(gs)
+				row.PkgW[sock] = stats.Median(ps)
 			}
-			row.CoreGHz[sock] = stats.Median(fs)
-			row.UncoreGHz[sock] = stats.Median(us)
-			row.GIPSThread[sock] = stats.Median(gs)
-			row.PkgW[sock] = stats.Median(ps)
-		}
-		rows = append(rows, row)
+			return row, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := report.NewTable("Table IV: FIRESTARTER (HT enabled) under frequency settings; 50x1s medians",
 		"Core frequency setting", "Core p0 [GHz]", "Core p1 [GHz]",
@@ -219,7 +233,7 @@ func Table5(o Options) ([]Table5Cell, *report.Table, error) {
 		set uarch.MHz
 		e   pcu.EPB
 	}
-	var jobs []job
+	jobs := make([]job, 0, len(kernels)*len(settings)*len(epbs))
 	for _, k := range kernels {
 		for _, setRaw := range settings {
 			for _, e := range epbs {
@@ -227,16 +241,16 @@ func Table5(o Options) ([]Table5Cell, *report.Table, error) {
 			}
 		}
 	}
-	cells, err := parallelMap(jobs, func(j job) (Table5Cell, error) {
-		cfg := core.DefaultConfig()
-		cfg.HyperThreading = false // Table V: HT not active
-		if o.Seed != 0 {
-			cfg.Seed = o.Seed
-		}
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return Table5Cell{}, err
-		}
+	cfg := core.DefaultConfig()
+	cfg.HyperThreading = false // Table V: HT not active
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	parent, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cells, err := forkMap(parent, jobs, func(sys *core.System, j job) (Table5Cell, error) {
 		set := j.set
 		if set == 0 {
 			set = sys.Spec().TurboSettingMHz()

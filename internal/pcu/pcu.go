@@ -183,6 +183,21 @@ func New(cfg Config) *PCU {
 	return p
 }
 
+// Clone returns an independent copy of the PCU: same controller state
+// (throttle depth, uncore clock, AVX/EET bookkeeping), fresh scratch
+// buffers. cfg is copied as-is — its Spec pointer is immutable and safe
+// to share. A clone's future Tick decisions match the original's
+// exactly for identical telemetry.
+func (p *PCU) Clone() *PCU {
+	c := *p
+	c.lastAVX = append([]sim.Time(nil), p.lastAVX...)
+	c.eetStall = append([]float64(nil), p.eetStall...)
+	// Tick lazily reallocates the Decision scratch on first use.
+	c.decCore = nil
+	c.decAVX = nil
+	return &c
+}
+
 // TDPWatts returns the enforced package power limit.
 func (p *PCU) TDPWatts() float64 { return p.tdp }
 

@@ -76,6 +76,17 @@ func NewPackageModel(pm *uarch.PowerModel, ceffScale, ambientC float64) *Package
 	return &PackageModel{PM: pm, CeffScale: ceffScale, AmbientC: ambientC, tempC: ambientC}
 }
 
+// Clone returns an independent copy of the model at the same die
+// temperature. The scratch memo is deliberately dropped (nil slices):
+// the first Compute on the clone re-derives it, and the change-driven
+// integrator's replay contract guarantees that recomputation is
+// bit-for-bit identical to a replay of the dropped memo.
+func (p *PackageModel) Clone() *PackageModel {
+	c := *p
+	c.scratch = ComputeMemo{}
+	return &c
+}
+
 // TempC returns the present die temperature.
 func (p *PackageModel) TempC() float64 { return p.tempC }
 
@@ -274,6 +285,16 @@ const SamplePeriod = 50 * sim.Millisecond
 // NewLMG450 returns a meter with a deterministic noise stream.
 func NewLMG450(rng *sim.RNG) *LMG450 {
 	return &LMG450{rng: rng}
+}
+
+// Clone returns an independent copy of the meter: same recorded
+// samples, noise stream continuing from the same position — so clone
+// and original record identical readings for identical inputs.
+func (m *LMG450) Clone() *LMG450 {
+	return &LMG450{
+		rng:     m.rng.Clone(),
+		samples: append([]Sample(nil), m.samples...),
+	}
 }
 
 // Record stores one reading of the true AC power, applying the meter's

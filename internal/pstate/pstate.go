@@ -60,6 +60,19 @@ func NewDomain(spec *uarch.Spec) *Domain {
 	}
 }
 
+// Clone returns an independent copy of the domain — same requested,
+// granted and in-flight transition state, with its own transition ring
+// (the ring holds pointers handed out by last(), so it must not be
+// shared). A clone's future evolution matches the original's exactly.
+func (d *Domain) Clone() *Domain {
+	c := *d
+	if d.transitions != nil {
+		c.transitions = make([]Transition, len(d.transitions), cap(d.transitions))
+		copy(c.transitions, d.transitions)
+	}
+	return &c
+}
+
 // Request records a software p-state request. Values are clamped to the
 // selectable range; anything above base is the turbo setting.
 func (d *Domain) Request(f uarch.MHz) uarch.MHz {

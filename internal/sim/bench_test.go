@@ -61,6 +61,28 @@ func BenchmarkEngineEveryRunUntil(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineForkRearm measures the engine half of a platform
+// fork: spawn a child engine and re-arm a platform-sized set of
+// pending timers (2 grid ticks + meter + a completion) on it.
+func BenchmarkEngineForkRearm(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	ids := []EventID{
+		e.EveryID(500, 500, fn),
+		e.EveryID(600, 600, fn),
+		e.EveryID(1000, 1000, fn),
+		e.At(e.Now()+50, fn),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := e.Fork()
+		for _, id := range ids {
+			child.Rearm(id, fn)
+		}
+	}
+}
+
 // BenchmarkEngineMixedQueue measures dispatch with a populated queue:
 // events percolate through a heap holding many pending entries.
 func BenchmarkEngineMixedQueue(b *testing.B) {

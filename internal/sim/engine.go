@@ -242,6 +242,78 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 }
 
+// EveryID is Every returning the series' EventID instead of a stop
+// closure. Periodic entries re-arm in place (same entry, same
+// generation), so the ID stays valid for the whole life of the series —
+// which is what lets a component keep the ID and re-create the series
+// declaratively on a forked engine (Rearm). StopSeries stops it.
+func (e *Engine) EveryID(start, period Time, fn Event) EventID {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	s := e.schedule(start, fn)
+	s.period = period
+	return EventID{s: s, gen: s.gen}
+}
+
+// StopSeries stops a periodic series started with EveryID. Stopping an
+// already-retired series (stale ID) is a no-op.
+func (e *Engine) StopSeries(id EventID) {
+	s := id.s
+	if s == nil || s.gen != id.gen || s.period <= 0 || s.stopped {
+		return
+	}
+	s.stopped = true
+	if s.index >= 0 {
+		e.remove(s.index)
+		e.release(s)
+	} else if s.index == claimed {
+		e.release(s)
+	}
+	// index == -1: the tick is in flight; the dispatcher sees stopped
+	// and retires the entry instead of re-arming.
+}
+
+// IsPending reports whether the event identified by id is still waiting
+// in the queue. Stale IDs (dispatched, cancelled, recycled) report
+// false; a periodic series reports true until stopped.
+func (e *Engine) IsPending(id EventID) bool {
+	s := id.s
+	return s != nil && s.gen == id.gen && s.index >= 0 && !s.stopped
+}
+
+// Fork returns a new engine at the same virtual time with the same
+// tie-break sequence counter and an empty queue. Pending entries are
+// deliberately not copied — their callbacks close over the parent's
+// component graph; each owner re-creates its own entries on the child
+// with Rearm, binding fresh callbacks while preserving the original
+// (time, sequence) coordinates. Once every pending parent event has
+// been re-armed, the child dispatches the exact same schedule the
+// parent would, including ties.
+func (e *Engine) Fork() *Engine {
+	return &Engine{now: e.now, seq: e.seq}
+}
+
+// Rearm re-creates a pending parent event on this (forked) engine with
+// a child-bound callback, preserving the parent entry's due time,
+// tie-break sequence number and period — the three coordinates that
+// determine dispatch order. id must identify an event still pending on
+// the parent; re-arming something already dispatched or cancelled
+// panics, because silently dropping it would make the fork diverge.
+func (e *Engine) Rearm(id EventID, fn Event) EventID {
+	s := id.s
+	if s == nil || s.gen != id.gen || s.index < 0 || s.stopped {
+		panic("sim: Rearm of an event that is not pending")
+	}
+	n := e.alloc()
+	n.at = s.at
+	n.seq = s.seq
+	n.fn = fn
+	n.period = s.period
+	e.push(n)
+	return EventID{s: n, gen: n.gen}
+}
+
 // Every schedules fn to run at start, start+period, start+2*period, ...
 // until the returned stop function is called. The series is one
 // persistent timer entry that re-arms itself after each tick, so a

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestEngineForkDispatchOrder forks an engine with a mix of pending
+// one-shots, periodic series and same-timestamp ties, re-arms them on
+// the child, and requires the child to dispatch the exact same (time,
+// tag) sequence as the parent — including events the callbacks spawn
+// after the fork point, which exercises the copied seq counter.
+func TestEngineForkDispatchOrder(t *testing.T) {
+	type rec struct {
+		At  Time
+		Tag string
+	}
+
+	// spawner returns a callback that logs and schedules a chain of
+	// follow-ups on its own engine — identical logic on both sides.
+	var spawner func(e *Engine, log *[]rec, depth int, tag string) Event
+	spawner = func(e *Engine, log *[]rec, depth int, tag string) Event {
+		return func(now Time) {
+			*log = append(*log, rec{now, tag})
+			if depth > 0 {
+				e.After(7*Microsecond, spawner(e, log, depth-1, tag+"'"))
+				// A tie with the periodic series' next tick now and then.
+				e.After(10*Microsecond, spawner(e, log, 0, tag+"t"))
+			}
+		}
+	}
+
+	parent := NewEngine()
+	var plog []rec
+	var ids []EventID
+	var depths []int
+	// One-shots, some sharing a timestamp to pin tie order. Events
+	// firing before the fork point get depth 0 so their spawned chains
+	// don't outlive the fork (the fork inventory must be exact).
+	for i, ev := range []struct {
+		at    Time
+		depth int
+	}{{40, 0}, {55, 0}, {55, 0}, {55, 0}, {70, 2}, {120, 2}, {200, 2}} {
+		id := parent.At(ev.at*Microsecond, spawner(parent, &plog, ev.depth, fmt.Sprintf("a%d", i)))
+		ids = append(ids, id)
+		depths = append(depths, ev.depth)
+	}
+	// Two periodic series, one tying with the 40 us one-shot.
+	evA := parent.EveryID(10*Microsecond, 10*Microsecond, spawner(parent, &plog, 0, "pA"))
+	evB := parent.EveryID(13*Microsecond, 90*Microsecond, spawner(parent, &plog, 1, "pB"))
+
+	// Run past some of the one-shots so the fork carries stale IDs too.
+	parent.Run(60 * Microsecond)
+	forkMark := len(plog)
+
+	child := parent.Fork()
+	var clog []rec
+	// Re-arm everything still pending with equivalent child-bound
+	// callbacks; stale IDs (events that fired before the fork) are
+	// filtered by IsPending. The fork inventory must be exact — every
+	// pending parent entry must be re-armed or the schedules diverge —
+	// so the scenario is arranged so that nothing untracked (a spawned
+	// chain) is still pending at the fork point; asserted below.
+	tracked := 0
+	for i, id := range ids {
+		if parent.IsPending(id) {
+			child.Rearm(id, spawner(child, &clog, depths[i], fmt.Sprintf("a%d", i)))
+			tracked++
+		}
+	}
+	for _, pe := range []struct {
+		id  EventID
+		tag string
+		dep int
+	}{{evA, "pA", 0}, {evB, "pB", 1}} {
+		if parent.IsPending(pe.id) {
+			child.Rearm(pe.id, spawner(child, &clog, pe.dep, pe.tag))
+			tracked++
+		}
+	}
+	if pending := parent.Pending(); pending != tracked {
+		t.Fatalf("fork point has %d pending but only %d tracked (spawned chains alive); adjust fork time", pending, tracked)
+	}
+
+	parent.Run(300 * Microsecond)
+	child.Run(300 * Microsecond)
+
+	got := clog
+	want := plog[forkMark:]
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("forked engine dispatch order diverged:\nparent: %v\nchild:  %v", want, got)
+	}
+	if len(want) == 0 {
+		t.Fatal("test exercised nothing: no post-fork dispatches")
+	}
+}
+
+// TestEngineRearmPanicsOnStaleID pins the contract that silently
+// dropping a non-pending event at fork time is an error, not a no-op.
+func TestEngineRearmPanicsOnStaleID(t *testing.T) {
+	parent := NewEngine()
+	id := parent.At(5*Microsecond, func(Time) {})
+	parent.Run(10 * Microsecond) // id fired; ID is stale
+	child := parent.Fork()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rearm of a stale ID did not panic")
+		}
+	}()
+	child.Rearm(id, func(Time) {})
+}
+
+// TestEngineForkSeqContinuity verifies the child engine continues the
+// parent's tie-break sequence stream: an event scheduled on the child
+// right after fork gets the same seq a parent-side schedule would, so
+// identical post-fork scheduling produces identical tie order.
+func TestEngineForkSeqContinuity(t *testing.T) {
+	run := func(e *Engine, log *[]string) {
+		// Two events at the same instant: dispatch order is insertion
+		// order via seq.
+		e.At(20*Microsecond, func(Time) { *log = append(*log, "first") })
+		e.At(20*Microsecond, func(Time) { *log = append(*log, "second") })
+		e.Run(30 * Microsecond)
+	}
+	parent := NewEngine()
+	parent.At(5*Microsecond, func(Time) {})
+	parent.Run(10 * Microsecond)
+
+	child := parent.Fork()
+	var plog, clog []string
+	run(parent, &plog)
+	run(child, &clog)
+	if !reflect.DeepEqual(plog, clog) {
+		t.Fatalf("post-fork tie order diverged: parent %v, child %v", plog, clog)
+	}
+}
+
+func TestEngineStopSeries(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	id := e.EveryID(10*Microsecond, 10*Microsecond, func(Time) { n++ })
+	e.Run(35 * Microsecond)
+	if n != 3 {
+		t.Fatalf("series ticked %d times, want 3", n)
+	}
+	if !e.IsPending(id) {
+		t.Fatal("series should still be pending")
+	}
+	e.StopSeries(id)
+	if e.IsPending(id) {
+		t.Fatal("stopped series still pending")
+	}
+	e.Run(100 * Microsecond)
+	if n != 3 {
+		t.Fatalf("stopped series kept ticking: %d", n)
+	}
+	e.StopSeries(id) // idempotent on stale ID
+}

@@ -90,6 +90,18 @@ func New(capacity int) *Buffer {
 	return &Buffer{events: make([]Event, capacity), cap: capacity}
 }
 
+// Clone returns an independent copy of the buffer with the same stored
+// events and ring position. Cloning a nil buffer returns nil. The
+// Filter function value is shared — filters must be stateless.
+func (b *Buffer) Clone() *Buffer {
+	if b == nil {
+		return nil
+	}
+	c := *b
+	c.events = append([]Event(nil), b.events...)
+	return &c
+}
+
 // Emit records an event (no-op on a nil buffer).
 func (b *Buffer) Emit(e Event) {
 	if b == nil {
