@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot bench-compare golden ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate ci
 
 all: build
 
@@ -41,7 +41,13 @@ golden:
 	$(GO) test -race -run 'TestSuiteSerialVsParallelByteIdentical' ./internal/exp
 	$(GO) test -race -run 'TestFork|TestEngineFork' ./internal/core ./internal/sim
 
-# ci: the full gate — vet, race-enabled tests (includes the suite
-# scheduler determinism test), benchmark smoke, perf regression diff,
-# and the serial-vs-forked-parallel golden comparison.
-ci: vet race bench bench-compare golden
+# errgate: no silently discarded call results (`_ = f(...)`) outside
+# test files — dropped errors must be propagated or counted in obs.
+errgate:
+	scripts/errgate.sh
+
+# ci: the full gate — vet, the discarded-error grep, race-enabled tests
+# (includes the suite scheduler determinism test), benchmark smoke,
+# perf regression diff, and the serial-vs-forked-parallel golden
+# comparison.
+ci: vet errgate race bench bench-compare golden

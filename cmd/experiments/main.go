@@ -6,7 +6,7 @@
 //	experiments -run all            # everything (full fidelity, slow)
 //	experiments -run tab4 -scale 0.1
 //	experiments -run fig2,fig3 -csv
-//	experiments -run ablations
+//	experiments -run ablations -report run.json
 //
 // Experiment ids: tab1 tab2 tab3 tab4 tab5 fig1 fig2 fig3 fig4 fig5
 // fig6 fig7 fig8 extensions catalog ablations.
@@ -19,6 +19,14 @@
 // cached bytes; -no-cache forces live runs, -cache-dir moves or (when
 // empty) disables the cache.
 //
+// -report writes a JSON run manifest (arguments, per-experiment status,
+// and a snapshot of the internal metrics registry: events dispatched,
+// timer-pool reuse, scheduler slot waits, cache hits/misses, and the
+// silent-failure counters) and prints a short human summary on stderr.
+// -report-prom writes the same metrics in Prometheus text exposition
+// format. Both are strictly out-of-band: the rendered experiment bytes
+// on stdout are identical with or without them.
+//
 // -cpuprofile, -memprofile and -trace write standard runtime profiles
 // of the run for `go tool pprof` / `go tool trace`.
 package main
@@ -26,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -37,31 +46,41 @@ import (
 
 	"hswsim/internal/exp"
 	"hswsim/internal/expcache"
+	"hswsim/internal/obs"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run() int {
-	runIDs := flag.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig8, extensions, catalog, ablations, all)")
-	scale := flag.Float64("scale", 1.0, "effort scale: 1.0 = paper-fidelity durations/sample counts")
-	seed := flag.Uint64("seed", 0x5eed, "simulation seed")
-	csv := flag.Bool("csv", false, "emit CSV where the result is tabular")
-	cacheDir := flag.String("cache-dir", defaultCacheDir(), "result cache directory (empty disables caching)")
-	noCache := flag.Bool("no-cache", false, "bypass the result cache: run everything live and do not store results")
-	verbose := flag.Bool("v", false, "report per-experiment timing and cache status on stderr")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
-	flag.Parse()
+// run is the whole tool behind a testable surface: flags are parsed
+// from args with a local FlagSet (so tests can invoke run repeatedly in
+// one process) and all output goes through the two writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runIDs := fs.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig8, extensions, catalog, ablations, all)")
+	scale := fs.Float64("scale", 1.0, "effort scale: 1.0 = paper-fidelity durations/sample counts")
+	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
+	csv := fs.Bool("csv", false, "emit CSV where the result is tabular")
+	cacheDir := fs.String("cache-dir", defaultCacheDir(), "result cache directory (empty disables caching)")
+	noCache := fs.Bool("no-cache", false, "bypass the result cache: run everything live and do not store results")
+	verbose := fs.Bool("v", false, "report per-experiment timing and cache status on stderr")
+	reportPath := fs.String("report", "", "write a JSON run manifest (status + metrics) to this file and summarize it on stderr")
+	promPath := fs.String("report-prom", "", "write the metrics snapshot in Prometheus text format to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
 			return 2
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
 			return 2
 		}
 		defer func() {
@@ -72,11 +91,11 @@ func run() int {
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			fmt.Fprintf(stderr, "trace: %v\n", err)
 			return 2
 		}
 		if err := rtrace.Start(f); err != nil {
-			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			fmt.Fprintf(stderr, "trace: %v\n", err)
 			return 2
 		}
 		defer func() {
@@ -88,13 +107,13 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // up-to-date live-object statistics
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "memprofile: %v\n", err)
 			}
 		}()
 	}
@@ -120,8 +139,8 @@ func run() int {
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		fmt.Fprintf(os.Stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
-		flag.Usage()
+		fmt.Fprintf(stderr, "unknown experiment id(s): %s\n", strings.Join(unknown, ", "))
+		fs.Usage()
 		return 2
 	}
 	var ids []string
@@ -131,8 +150,8 @@ func run() int {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "no experiments selected")
-		flag.Usage()
+		fmt.Fprintln(stderr, "no experiments selected")
+		fs.Usage()
 		return 2
 	}
 
@@ -140,37 +159,99 @@ func run() int {
 	if !*noCache && *cacheDir != "" {
 		c, err := expcache.Open(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: result cache disabled: %v\n", err)
+			fmt.Fprintf(stderr, "warning: result cache disabled: %v\n", err)
 		} else {
 			cache = c
 		}
 	}
 
+	manifest := &obs.Manifest{
+		Tool: "experiments",
+		Args: map[string]string{
+			"run":   *runIDs,
+			"scale": fmt.Sprintf("%g", *scale),
+			"seed":  fmt.Sprintf("%#x", *seed),
+			"csv":   fmt.Sprintf("%t", *csv),
+			"cache": fmt.Sprintf("%t", cache != nil),
+		},
+	}
+	wallStart := time.Now()
+
 	// Run everything requested even when some experiments fail; report
 	// every failure and exit nonzero at the end.
 	failed := 0
 	exp.RunSuite(ids, o, *csv, cache, func(r exp.SuiteResult) {
-		fmt.Printf("==== %s ====\n", r.ID)
+		info := obs.ExperimentInfo{
+			ID: r.ID, Cached: r.Cached,
+			ElapsedMS: r.Elapsed.Milliseconds(), Bytes: len(r.Output),
+		}
+		fmt.Fprintf(stdout, "==== %s ====\n", r.ID)
 		if r.Err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+			info.Err = r.Err.Error()
+			manifest.Experiments = append(manifest.Experiments, info)
+			fmt.Fprintf(stderr, "%s: %v\n", r.ID, r.Err)
 			return
 		}
-		os.Stdout.Write(r.Output)
-		fmt.Println()
+		stdout.Write(r.Output)
+		fmt.Fprintln(stdout)
+		manifest.Experiments = append(manifest.Experiments, info)
 		if *verbose {
 			how := "ran"
 			if r.Cached {
 				how = "cache hit"
 			}
-			fmt.Fprintf(os.Stderr, "%s: %s in %v\n", r.ID, how, r.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(stderr, "%s: %s in %v\n", r.ID, how, r.Elapsed.Round(time.Millisecond))
 		}
 	})
+	if *reportPath != "" || *promPath != "" {
+		manifest.Failed = failed
+		manifest.WallMS = time.Since(wallStart).Milliseconds()
+		manifest.Metrics = obs.Snapshot()
+		if *reportPath != "" {
+			if err := writeManifest(*reportPath, manifest); err != nil {
+				fmt.Fprintf(stderr, "report: %v\n", err)
+				failed++
+			} else {
+				manifest.WriteSummary(stderr)
+			}
+		}
+		if *promPath != "" {
+			if err := writeProm(*promPath, manifest.Metrics); err != nil {
+				fmt.Fprintf(stderr, "report-prom: %v\n", err)
+				failed++
+			}
+		}
+	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d of %d experiments failed\n", failed, len(ids))
+		fmt.Fprintf(stderr, "%d of %d experiments failed\n", failed, len(ids))
 		return 1
 	}
 	return 0
+}
+
+func writeManifest(path string, m *obs.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeProm(path string, ms []obs.Metric) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheus(f, ms); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // defaultCacheDir places the cache under the user cache directory; an

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hswsim/internal/obs"
+)
+
+// TestReportLeavesOutputByteIdentical is the golden gate for the
+// observability layer: enabling -report (and the result cache, and
+// neither) must leave the rendered experiment bytes on stdout exactly
+// identical. It also checks the report itself — the manifest of a clean
+// run must show the simulator actually doing work (events, forks,
+// scheduler slots, cache traffic) and must show zero silent-failure
+// events (cache put failures, invalid RAPL windows, empty statistics
+// inputs).
+func TestReportLeavesOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite three times at scale 0.25")
+	}
+	cacheDir := t.TempDir()
+	reportDir := t.TempDir()
+	base := []string{"-run", "all", "-scale", "0.25", "-seed", "0x5eed"}
+
+	do := func(extra ...string) (stdout, stderr bytes.Buffer, code int) {
+		code = run(append(append([]string{}, base...), extra...), &stdout, &stderr)
+		return
+	}
+
+	// Run 1: cold cache, no report — populates cacheDir, counts misses.
+	out1, err1, code1 := do("-cache-dir", cacheDir)
+	if code1 != 0 {
+		t.Fatalf("cold run exit %d, stderr:\n%s", code1, err1.String())
+	}
+	if out1.Len() == 0 {
+		t.Fatal("cold run produced no output")
+	}
+
+	// Run 2: warm cache + report — replays cached bytes, counts hits.
+	warmReport := filepath.Join(reportDir, "warm.json")
+	out2, err2, code2 := do("-cache-dir", cacheDir, "-report", warmReport)
+	if code2 != 0 {
+		t.Fatalf("warm run exit %d, stderr:\n%s", code2, err2.String())
+	}
+
+	// Run 3: live (no cache) + report + prometheus export.
+	liveReport := filepath.Join(reportDir, "live.json")
+	promOut := filepath.Join(reportDir, "live.prom")
+	out3, err3, code3 := do("-no-cache", "-report", liveReport, "-report-prom", promOut)
+	if code3 != 0 {
+		t.Fatalf("live run exit %d, stderr:\n%s", code3, err3.String())
+	}
+
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("cached output differs from cold output (%d vs %d bytes)", out2.Len(), out1.Len())
+	}
+	if !bytes.Equal(out1.Bytes(), out3.Bytes()) {
+		t.Errorf("-report run output differs from plain run (%d vs %d bytes)", out3.Len(), out1.Len())
+	}
+
+	var m obs.Manifest
+	raw, err := os.ReadFile(liveReport)
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("parse manifest: %v", err)
+	}
+	if m.Tool != "experiments" || len(m.Experiments) == 0 {
+		t.Fatalf("manifest missing run info: tool=%q experiments=%d", m.Tool, len(m.Experiments))
+	}
+	for _, e := range m.Experiments {
+		if e.Err != "" {
+			t.Errorf("experiment %s failed: %s", e.ID, e.Err)
+		}
+		if e.Cached {
+			t.Errorf("experiment %s cached in a -no-cache run", e.ID)
+		}
+	}
+
+	// The simulator must visibly have done work. Counters are cumulative
+	// for the process, so this manifest covers all three runs above.
+	mustPositive := []string{
+		"sim_events_dispatched_total",
+		"sim_forks_total",
+		"sched_slot_acquires_total",
+		"exp_sweep_points_total",
+		"expcache_misses_total", // run 1 started cold
+		"expcache_hits_total",   // run 2 replayed run 1's entries
+		"power_segments_replayed_total",
+	}
+	for _, name := range mustPositive {
+		met, ok := m.Metric(name)
+		if !ok {
+			t.Errorf("manifest missing metric %s", name)
+			continue
+		}
+		if met.Value <= 0 {
+			t.Errorf("%s = %d, want > 0", name, met.Value)
+		}
+	}
+	// ... and the silent-failure counters of the bug fixes must all be
+	// zero on a clean run.
+	mustZero := []string{
+		"expcache_put_failures_total",
+		"rapl_window_errors_total",
+		"stats_empty_input_total",
+	}
+	for _, name := range mustZero {
+		met, ok := m.Metric(name)
+		if !ok {
+			t.Errorf("manifest missing metric %s", name)
+			continue
+		}
+		if met.Value != 0 {
+			t.Errorf("%s = %d, want 0 on a clean run", name, met.Value)
+		}
+	}
+
+	prom, err := os.ReadFile(promOut)
+	if err != nil {
+		t.Fatalf("read prometheus export: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE sim_events_dispatched_total counter",
+		"sim_events_dispatched_total ",
+		"sched_slot_wait_ns_bucket{le=\"+Inf\"}",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			t.Errorf("prometheus export missing %q", want)
+		}
+	}
+}
+
+// TestUsageErrors pins the argument-validation exit code.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown id: exit %d, want 2", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("unknown experiment id")) {
+		t.Fatalf("missing unknown-id diagnostic, got:\n%s", stderr.String())
+	}
+}

@@ -155,7 +155,8 @@ func main() {
 		iv := perfctr.Delta(snaps[cpu], sys.Core(cpu).Snapshot())
 		after, err := sys.ReadRAPL(s)
 		exitOn(err)
-		pkgW, dramW := sys.RAPLPowerW(raps[s], after)
+		pkgW, dramW, err := sys.RAPLPowerW(raps[s], after)
+		exitOn(err)
 		fmt.Printf("  socket %d: core %.2f GHz, IPC %.2f, pkg %.1f W, DRAM %.1f W, %v\n",
 			s, iv.FreqGHz(), iv.IPC(), pkgW, dramW, sys.Socket(s).PkgCState())
 	}

@@ -86,7 +86,11 @@ func main() {
 		os.Exit(1)
 	}
 	res := s.Results()
-	pkgW, dramW := sys.RAPLPowerW(a, b)
+	pkgW, dramW, err := sys.RAPLPowerW(a, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var waitSum, svcSum sim.Time
 	for _, r := range res {
 		waitSum += r.WaitTime()

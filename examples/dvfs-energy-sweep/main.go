@@ -42,7 +42,10 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			p, d := sys.RAPLPowerW(a, b)
+			p, d, err := sys.RAPLPowerW(a, b)
+			if err != nil {
+				panic(err)
+			}
 			rows = append(rows, row{set: f, gips: gips, pkg: p + d})
 		}
 		return rows

@@ -35,7 +35,10 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		pkgW, _ := sys.RAPLPowerW(a, b)
+		pkgW, _, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			panic(err)
+		}
 		opt.Stop()
 		fmt.Printf("%-12s converged near %v  (measured %.2f GHz, %.1f W, %d evaluations)\n",
 			name, opt.Setting(), iv.FreqGHz(), pkgW, opt.Evaluations)

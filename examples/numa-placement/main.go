@@ -44,7 +44,10 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			p, d := sys.RAPLPowerW(a, b)
+			p, d, err := sys.RAPLPowerW(a, b)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("%-24s %12.1f %12.1f %12.3f\n", hswsim.KernelName(k), gbs, p+d, gbs/(p+d))
 		}
 		fmt.Println()

@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	pkgW, dramW := sys.RAPLPowerW(before, after)
+	pkgW, dramW, err := sys.RAPLPowerW(before, after)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("FIRESTARTER: requested turbo (up to %v), sustained %.2f GHz — opportunistic, TDP-limited\n",
 		sys.Spec().MaxTurboMHz(), iv.FreqGHz())

@@ -41,7 +41,10 @@ func main() {
 		}
 		res := s.Results()
 		last := res[len(res)-1].Finish
-		pkgW, _ := sys.RAPLPowerW(a, b)
+		pkgW, _, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-12s finished 16 tasks by %-12v socket energy %6.1f J\n",
 			p.Name, last, pkgW*3)
 		r := sys.CoreResidency(0)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hswsim/internal/msr"
+	"hswsim/internal/obs"
 	"hswsim/internal/perfctr"
 	"hswsim/internal/rapl"
 	"hswsim/internal/sim"
@@ -65,26 +66,36 @@ func (s *System) ReadRAPL(socket int) (RAPLReading, error) {
 
 // RAPLPowerW derives package and DRAM power between two readings using
 // the correct energy units (package unit from MSR_RAPL_POWER_UNIT, the
-// fixed 15.3 uJ DRAM unit — "DRAM mode 1").
-func (s *System) RAPLPowerW(a, b RAPLReading) (pkgW, dramW float64) {
+// fixed 15.3 uJ DRAM unit — "DRAM mode 1"). An invalid measurement
+// window (b not strictly after a) or an MSR read failure is a real
+// error, never a silent 0 W reading: a zero row in a rendered table
+// would be indistinguishable from a measured idle package. Each
+// rejection is also counted in the obs registry so run reports surface
+// how often it happened.
+func (s *System) RAPLPowerW(a, b RAPLReading) (pkgW, dramW float64, err error) {
 	dt := b.At - a.At
+	if dt <= 0 {
+		obs.RAPLWindowErrors.Inc()
+		return 0, 0, fmt.Errorf("core: invalid RAPL window [%v, %v]: second reading must be later", a.At, b.At)
+	}
 	unitReg, err := s.msrDev.Read(0, msr.MSR_RAPL_POWER_UNIT)
 	if err != nil {
-		return 0, 0
+		obs.RAPLWindowErrors.Inc()
+		return 0, 0, fmt.Errorf("core: RAPL power units: %w", err)
 	}
 	pkgW = rapl.PowerFromCounter(a.Pkg, b.Pkg, msr.EnergyUnitJoules(unitReg), dt)
 	dramW = rapl.PowerFromCounter(a.DRAM, b.DRAM, msr.DRAMEnergyUnitJoulesHaswellEP, dt)
-	return pkgW, dramW
+	return pkgW, dramW, nil
 }
 
 // RAPLTotalPowerW measures the summed package+DRAM power of all sockets
 // over dur (advances time).
-func (s *System) RAPLTotalPowerW(dur sim.Time) float64 {
+func (s *System) RAPLTotalPowerW(dur sim.Time) (float64, error) {
 	before := make([]RAPLReading, len(s.sockets))
 	for i := range s.sockets {
 		r, err := s.ReadRAPL(i)
 		if err != nil {
-			return 0
+			return 0, err
 		}
 		before[i] = r
 	}
@@ -93,10 +104,13 @@ func (s *System) RAPLTotalPowerW(dur sim.Time) float64 {
 	for i := range s.sockets {
 		after, err := s.ReadRAPL(i)
 		if err != nil {
-			return 0
+			return 0, err
 		}
-		p, d := s.RAPLPowerW(before[i], after)
+		p, d, err := s.RAPLPowerW(before[i], after)
+		if err != nil {
+			return 0, err
+		}
 		total += p + d
 	}
-	return total
+	return total, nil
 }

@@ -68,6 +68,14 @@ type Socket struct {
 	segDRAMW  float64
 	segUncGHz float64
 
+	// Change-driven integration accounting: replay vs full-recompute
+	// segment counts. Plain fields (a socket integrates on one
+	// goroutine); System.flushObs pushes deltas to the obs registry at
+	// run boundaries, so the per-segment path stays atomic-free. Forked
+	// sockets start at zero and count their own segments.
+	statReplay, statFull               uint64
+	statReplayFlushed, statFullFlushed uint64
+
 	// Scratch buffers for the per-segment integration (hot path).
 	loadsBuf   []cache.CoreLoad
 	coresBuf   []*Core
@@ -278,9 +286,11 @@ func (sk *Socket) telemetry(now sim.Time) pcu.Telemetry {
 // which path ran.
 func (sk *Socket) integrate(from sim.Time, dt sim.Time) float64 {
 	if !debugForceFullIntegration && sk.segValid && !sk.opDirty && sk.steadyAt(from) {
+		sk.statReplay++
 		return sk.integrateSteady(dt)
 	}
 	sk.opDirty = false
+	sk.statFull++
 	return sk.integrateFull(from, dt)
 }
 

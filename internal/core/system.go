@@ -17,6 +17,7 @@ import (
 
 	"hswsim/internal/cstate"
 	"hswsim/internal/msr"
+	"hswsim/internal/obs"
 	"hswsim/internal/pcu"
 	"hswsim/internal/power"
 	"hswsim/internal/ring"
@@ -230,12 +231,31 @@ func (s *System) Now() sim.Time { return s.Engine.Now() }
 func (s *System) Run(d sim.Time) {
 	s.Engine.Run(d)
 	s.integrateTo(s.Engine.Now())
+	s.flushObs()
 }
 
 // RunUntil advances the platform to absolute time t.
 func (s *System) RunUntil(t sim.Time) {
 	s.Engine.RunUntil(t)
 	s.integrateTo(t)
+	s.flushObs()
+}
+
+// flushObs pushes the sockets' integration-segment counter deltas to
+// the obs registry — a handful of atomic adds per Run call, nothing per
+// segment. Deliberately not called from Fork: the parent must stay
+// read-only for concurrent forks; its deltas flush on its next Run.
+func (s *System) flushObs() {
+	for _, sk := range s.sockets {
+		if d := sk.statReplay - sk.statReplayFlushed; d > 0 {
+			obs.PowerSegReplays.Add(int64(d))
+			sk.statReplayFlushed = sk.statReplay
+		}
+		if d := sk.statFull - sk.statFullFlushed; d > 0 {
+			obs.PowerSegFulls.Add(int64(d))
+			sk.statFullFlushed = sk.statFull
+		}
+	}
 }
 
 // meterTick is the LMG450 sample event: one persistent periodic timer

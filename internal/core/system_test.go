@@ -6,6 +6,7 @@ import (
 
 	"hswsim/internal/cstate"
 	"hswsim/internal/msr"
+	"hswsim/internal/obs"
 	"hswsim/internal/pcu"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
@@ -347,7 +348,10 @@ func TestRAPLThroughMSRs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgW, dramW := s.RAPLPowerW(a, b)
+	pkgW, dramW, err := s.RAPLPowerW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pkgW < 30 || pkgW > 121 {
 		t.Errorf("package power via MSRs = %.1f W, implausible", pkgW)
 	}
@@ -358,9 +362,43 @@ func TestRAPLThroughMSRs(t *testing.T) {
 	a1, _ := s.ReadRAPL(1)
 	s.Run(sim.Second)
 	b1, _ := s.ReadRAPL(1)
-	pkg1, _ := s.RAPLPowerW(a1, b1)
+	pkg1, _, err := s.RAPLPowerW(a1, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pkg1 >= pkgW/2 {
 		t.Errorf("idle socket power %.1f vs busy %.1f: want clear separation", pkg1, pkgW)
+	}
+}
+
+// TestRAPLPowerWInvalidWindow pins the silent-failure fix: a
+// measurement window whose second reading is not strictly later must be
+// a real error (and advance the obs counter), never a 0 W result that a
+// rendered table would pass off as a measured idle package.
+func TestRAPLPowerWInvalidWindow(t *testing.T) {
+	s := newSys(t)
+	s.Run(100 * sim.Millisecond)
+	rd, err := s.ReadRAPL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.RAPLWindowErrors.Value()
+	if _, _, err := s.RAPLPowerW(rd, rd); err == nil {
+		t.Fatal("zero-length RAPL window accepted")
+	}
+	s.Run(100 * sim.Millisecond)
+	later, err := s.ReadRAPL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.RAPLPowerW(later, rd); err == nil {
+		t.Fatal("reversed RAPL window accepted")
+	}
+	if got := obs.RAPLWindowErrors.Value(); got != before+2 {
+		t.Fatalf("obs.RAPLWindowErrors = %d, want %d", got, before+2)
+	}
+	if p, d, err := s.RAPLPowerW(rd, later); err != nil || p <= 0 || d < 0 {
+		t.Fatalf("valid window rejected: p=%v d=%v err=%v", p, d, err)
 	}
 }
 

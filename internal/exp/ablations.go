@@ -280,7 +280,10 @@ func fig2WithMode(mode uarch.RAPLMode, o Options) (*Fig2Result, error) {
 			if err != nil {
 				return Fig2Point{}, err
 			}
-			p, d := sys.RAPLPowerW(before[s], after)
+			p, d, err := sys.RAPLPowerW(before[s], after)
+			if err != nil {
+				return Fig2Point{}, err
+			}
 			rapl += p + d
 		}
 		return Fig2Point{
@@ -362,7 +365,10 @@ func AblationEET(o Options) (*AblationResult, error) {
 		if err != nil {
 			return AblationVariant{}, err
 		}
-		pkgW, _ := sys.RAPLPowerW(a, b)
+		pkgW, _, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			return AblationVariant{}, err
+		}
 		gips := iv.GIPS()
 		return AblationVariant{
 			Label: variant.label,

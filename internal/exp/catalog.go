@@ -74,7 +74,10 @@ func KernelCatalogStudy(o Options) ([]KernelCharacter, *report.Table, error) {
 		}
 		c.L3GBs = gips * prof.L3BytesPerInst
 		c.MemGBs = gips * prof.MemBytesPerInst
-		pkgW, dramW := sys.RAPLPowerW(a, b)
+		pkgW, dramW, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			return KernelCharacter{}, err
+		}
 		c.PkgW = pkgW + dramW
 		c.CPUOnlyW = pkgW
 		if c.PkgW > 0 {

@@ -147,7 +147,10 @@ func IdleTableStudy(o Options) ([]IdleTableVariant, *report.Table, error) {
 			if err != nil {
 				return IdleTableVariant{}, err
 			}
-			pkgW, _ := sys.RAPLPowerW(a, b)
+			pkgW, _, err := sys.RAPLPowerW(a, b)
+			if err != nil {
+				return IdleTableVariant{}, err
+			}
 			return IdleTableVariant{Label: v.label, StatePick: pick, PkgW: pkgW}, nil
 		})
 	if err != nil {
@@ -230,7 +233,10 @@ func DVFSDynamicStudy(o Options) ([]DVFSDynamicVariant, *report.Table, error) {
 		if err != nil {
 			return DVFSDynamicVariant{}, err
 		}
-		pkgW, dramW := sys.RAPLPowerW(a, b)
+		pkgW, dramW, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			return DVFSDynamicVariant{}, err
+		}
 		r.Stop()
 		gips := iv.GIPS() * float64(cfg.Spec.Cores)
 		res := DVFSDynamicVariant{

@@ -103,7 +103,10 @@ func Fig2(gen uarch.Generation, o Options) (*Fig2Result, error) {
 			if err != nil {
 				return Fig2Point{}, err
 			}
-			p, d := sys.RAPLPowerW(before[s], after)
+			p, d, err := sys.RAPLPowerW(before[s], after)
+			if err != nil {
+				return Fig2Point{}, err
+			}
 			rapl += p + d
 		}
 		ac := sys.Meter().Average(start, sys.Now())

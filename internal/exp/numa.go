@@ -66,7 +66,10 @@ func NUMAStudy(o Options) ([]NUMAPoint, *report.Table, error) {
 			if err != nil {
 				return NUMAPoint{}, err
 			}
-			p, d := sys.RAPLPowerW(a, b)
+			p, d, err := sys.RAPLPowerW(a, b)
+			if err != nil {
+				return NUMAPoint{}, err
+			}
 			return NUMAPoint{
 				RemoteFrac: j.remote, Cores: j.cores, GBs: gbs, PkgW: p + d,
 			}, nil

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"hswsim/internal/obs"
 )
 
 // parallelWorkers overrides the worker count when positive (test seam:
@@ -46,6 +48,7 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 			if i >= len(items) {
 				return
 			}
+			obs.ExpPoints.Inc()
 			if results[i], errs[i] = fn(items[i]); errs[i] != nil {
 				failed.Store(true)
 			}
@@ -59,8 +62,11 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 			defer wg.Done()
 			select {
 			case sched.c <- struct{}{}:
+				obs.SchedSlotAcquires.Inc()
+				obs.SchedSlotsBusy.Add(1)
 				work()
 				<-sched.c
+				obs.SchedSlotsBusy.Add(-1)
 			case <-done:
 				// The map drained before a slot freed up; nothing left.
 			}

@@ -80,7 +80,10 @@ func PCPSStudy(o Options) ([]PCPSVariant, *report.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		p, d := sys.RAPLPowerW(a, b)
+		p, d, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			return nil, nil, err
+		}
 		variant.PkgW = p + d
 		r.Stop()
 		out = append(out, variant)

@@ -1,6 +1,11 @@
 package exp
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+
+	"hswsim/internal/obs"
+)
 
 // slotPool is the process-wide bounded compute scheduler: a semaphore
 // over "compute slots", one per GOMAXPROCS. Both concurrency levels of
@@ -15,6 +20,11 @@ import "runtime"
 // experiment), and only the extra helpers wait for free slots. A helper
 // blocked on a full pool is released as soon as its map drains, so no
 // cycle of waiters can form.
+//
+// Every acquisition is reported to obs (count, busy gauge, and — when
+// the pool was full — the wall time spent waiting), which is how a run
+// report shows whether the machine was slot-starved. The fast path pays
+// two atomic adds; only a contended acquire reads the wall clock.
 type slotPool struct {
 	c chan struct{}
 }
@@ -23,14 +33,30 @@ func newSlotPool(n int) *slotPool {
 	if n < 1 {
 		n = 1
 	}
+	obs.SchedSlots.Set(int64(n))
 	return &slotPool{c: make(chan struct{}, n)}
 }
 
 // acquire blocks until a compute slot is free.
-func (p *slotPool) acquire() { p.c <- struct{}{} }
+func (p *slotPool) acquire() {
+	select {
+	case p.c <- struct{}{}:
+	default:
+		start := time.Now()
+		p.c <- struct{}{}
+		wait := time.Since(start).Nanoseconds()
+		obs.SchedSlotWaitNS.Add(wait)
+		obs.SchedSlotWait.Observe(wait)
+	}
+	obs.SchedSlotAcquires.Inc()
+	obs.SchedSlotsBusy.Add(1)
+}
 
 // release returns a held slot.
-func (p *slotPool) release() { <-p.c }
+func (p *slotPool) release() {
+	<-p.c
+	obs.SchedSlotsBusy.Add(-1)
+}
 
 // slots returns the pool capacity.
 func (p *slotPool) slots() int { return cap(p.c) }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"sync"
 	"time"
 
 	"hswsim/internal/cstate"
+	"hswsim/internal/obs"
 	"hswsim/internal/uarch"
 )
 
@@ -218,9 +221,10 @@ func Lookup(id string) (Descriptor, bool) {
 // miss (or a corrupt/stale entry, which implementations must treat as a
 // miss) falls back to a live run. Implementations must be safe for
 // concurrent use: RunSuite consults the cache from one goroutine per
-// experiment. Put failures are deliberately swallowed by the suite
-// runner: a cache that cannot persist costs a future re-run, it does
-// not fail the present one.
+// experiment. A Put failure never fails the present run — a cache that
+// cannot persist only costs a future re-run — but it is not silent
+// either: the suite counts it in the obs registry and warns once per
+// process so a permanently broken cache directory gets noticed.
 type Cache interface {
 	Get(id string, o Options, csv bool) ([]byte, bool)
 	Put(id string, o Options, csv bool, output []byte) error
@@ -291,8 +295,20 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 	if err != nil {
 		return SuiteResult{ID: id, Err: err, Elapsed: time.Since(start)}
 	}
+	obs.ExpRuns.With(id).Inc()
 	if cache != nil {
-		_ = cache.Put(id, o, csv, buf.Bytes())
+		if perr := cache.Put(id, o, csv, buf.Bytes()); perr != nil {
+			// Not fatal (the output is in hand), but not silent: count
+			// every failure and warn once so a broken cache directory
+			// doesn't quietly disable caching for good.
+			obs.CachePutFailures.Inc()
+			putWarnOnce.Do(func() {
+				fmt.Fprintf(os.Stderr, "warning: result cache put failed for %s (further failures counted, not logged): %v\n", id, perr)
+			})
+		}
 	}
 	return SuiteResult{ID: id, Output: buf.Bytes(), Elapsed: time.Since(start)}
 }
+
+// putWarnOnce gates the once-per-process cache-put warning.
+var putWarnOnce sync.Once

@@ -181,7 +181,10 @@ func Table4(o Options) ([]Table4Row, *report.Table, error) {
 					if err != nil {
 						return Table4Row{}, err
 					}
-					pkgW, _ := sys.RAPLPowerW(ra, rb)
+					pkgW, _, err := sys.RAPLPowerW(ra, rb)
+					if err != nil {
+						return Table4Row{}, err
+					}
 					fs = append(fs, iv.FreqGHz())
 					us = append(us, perfctr.UncoreFreqGHz(ua, ub))
 					gs = append(gs, iv.GIPS()/2) // per hardware thread

@@ -19,6 +19,7 @@ import (
 	"runtime/debug"
 
 	"hswsim/internal/exp"
+	"hswsim/internal/obs"
 )
 
 // entryVersion invalidates every existing entry when the envelope
@@ -79,18 +80,24 @@ func (d *Dir) Get(id string, o exp.Options, csv bool) ([]byte, bool) {
 	p := d.path(id, o, csv)
 	raw, err := os.ReadFile(p)
 	if err != nil {
+		obs.CacheMisses.Inc()
 		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
 		os.Remove(p)
+		obs.CacheEvictions.Inc()
+		obs.CacheMisses.Inc()
 		return nil, false
 	}
 	if e.Version != entryVersion || e.ID != id || e.Options != optionsKey(o) ||
 		e.CSV != csv || e.BuildID != d.buildID {
 		os.Remove(p)
+		obs.CacheEvictions.Inc()
+		obs.CacheMisses.Inc()
 		return nil, false
 	}
+	obs.CacheHits.Inc()
 	return []byte(e.Output), true
 }
 

@@ -74,7 +74,10 @@ func DCTOptimize(sys func() (*core.System, error), k workload.Kernel,
 				gips += iv.GIPS()
 				gbs += iv.GIPS() * k.ProfileAt(0).MemBytesPerInst
 			}
-			pkgW, dramW := s.RAPLPowerW(ra, rb)
+			pkgW, dramW, err := s.RAPLPowerW(ra, rb)
+			if err != nil {
+				return nil, err
+			}
 			p := DCTPoint{
 				Cores: cores, Threads: 2, FreqMHz: f,
 				GBs: gbs, GIPS: gips, PkgW: pkgW + dramW,

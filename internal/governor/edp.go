@@ -31,6 +31,10 @@ type EDPRunner struct {
 
 	// Evaluations counts completed measure-and-decide steps.
 	Evaluations int
+	// MeasureErrors counts steps skipped because the RAPL window could
+	// not be read — previously these silently produced a 0 W reading
+	// and poisoned the hill climb with a bogus EDP sample.
+	MeasureErrors int
 }
 
 // NewEDPRunner attaches the optimizer to one socket's CPUs.
@@ -82,8 +86,15 @@ func (r *EDPRunner) step() {
 		return
 	}
 	iv := perfctr.Delta(r.lastSnap, snap)
-	pkgW, _ := r.sys.RAPLPowerW(r.lastRAPL, rd)
+	pkgW, _, err := r.sys.RAPLPowerW(r.lastRAPL, rd)
 	r.lastSnap, r.lastRAPL = snap, rd
+	if err != nil {
+		// A timer callback has nowhere to propagate to: skip the step
+		// (the next window starts from the fresh readings) and count it
+		// so the failure is visible in the run report.
+		r.MeasureErrors++
+		return
+	}
 	if iv.Instructions == 0 || pkgW <= 0 {
 		return
 	}

@@ -158,7 +158,10 @@ func TestMemoryAwareRunnerSavesEnergyOnStreams(t *testing.T) {
 			iv := perfctr.Delta(before[cpu], s.Core(cpu).Snapshot())
 			gbs += iv.GIPS() * 8
 		}
-		p, d := s.RAPLPowerW(ra, rb)
+		p, d, err := s.RAPLPowerW(ra, rb)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r.Stop()
 		return gbs, p + d
 	}

@@ -1,0 +1,64 @@
+package obs
+
+// The canonical metric set every instrumented subsystem reports to, on
+// the Default registry. Names follow Prometheus conventions (_total for
+// counters, explicit units) so the exposition writer needs no mapping.
+//
+// Hot-path contributors (the event dispatcher, the per-segment power
+// integrator) do not touch these atomics per event: they keep plain
+// single-goroutine counters and flush deltas at run boundaries — see
+// sim.Engine and core.System.
+var (
+	// Sim engine: dispatch volume, timer-pool effectiveness, forks.
+	SimEventsDispatched = std.Counter("sim_events_dispatched_total",
+		"events dispatched across all sim engines")
+	SimTimerPoolReuse = std.Counter("sim_timer_pool_reuse_total",
+		"timer entries recycled from an engine free list")
+	SimTimerPoolAlloc = std.Counter("sim_timer_pool_alloc_total",
+		"timer entries newly allocated (free list empty)")
+	SimForks = std.Counter("sim_forks_total",
+		"engine forks (one per parallel sweep point)")
+
+	// Suite scheduler: slot pressure on the shared compute pool.
+	SchedSlots = std.Gauge("sched_slots",
+		"compute slots in the shared pool (GOMAXPROCS)")
+	SchedSlotsBusy = std.Gauge("sched_slots_busy",
+		"compute slots currently held")
+	SchedSlotAcquires = std.Counter("sched_slot_acquires_total",
+		"slot acquisitions (suite-level experiments + point-level helpers)")
+	SchedSlotWaitNS = std.Counter("sched_slot_wait_ns_total",
+		"total nanoseconds spent waiting for a compute slot")
+	SchedSlotWait = std.Histogram("sched_slot_wait_ns",
+		"distribution of time spent waiting for a compute slot",
+		[]int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+			100_000_000, 1_000_000_000, 10_000_000_000})
+
+	// Experiments: per-id run counts and point-sweep volume.
+	ExpRuns = std.CounterVec("exp_runs_total",
+		"experiments executed live (cache misses included, hits excluded)", "id")
+	ExpPoints = std.Counter("exp_sweep_points_total",
+		"point-level work items executed by parallelMap")
+
+	// Result cache.
+	CacheHits = std.Counter("expcache_hits_total",
+		"result cache hits (rendered bytes replayed)")
+	CacheMisses = std.Counter("expcache_misses_total",
+		"result cache misses (live run required)")
+	CacheEvictions = std.Counter("expcache_evictions_total",
+		"corrupt or stale cache entries evicted on read")
+	CachePutFailures = std.Counter("expcache_put_failures_total",
+		"cache writes that failed (result not persisted; run unaffected)")
+
+	// Power integrator: change-driven segment accounting.
+	PowerSegReplays = std.Counter("power_segments_replayed_total",
+		"integration segments served by the memoized steady-state replay")
+	PowerSegFulls = std.Counter("power_segments_full_total",
+		"integration segments that re-solved the full operating point")
+
+	// Silent-failure counters: zero on a clean run, nonzero when a
+	// previously invisible degradation happened (surfaced by -report).
+	RAPLWindowErrors = std.Counter("rapl_window_errors_total",
+		"RAPLPowerW calls rejected (invalid window or MSR read failure)")
+	StatsEmptyInputs = std.Counter("stats_empty_input_total",
+		"statistics requested over empty inputs (defined zero returned)")
+)

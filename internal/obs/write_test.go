@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	r := NewRegistry()
+	r.Counter("a_total", "helper a").Add(3)
+	v := r.CounterVec("runs_total", "runs", "id")
+	v.With("tab1").Inc()
+	h := r.Histogram("wait_ns", "waits", []int64{100})
+	h.Observe(50)
+	h.Observe(500)
+	return &Manifest{
+		Tool: "experiments",
+		Args: map[string]string{"scale": "0.25"},
+		Experiments: []ExperimentInfo{
+			{ID: "tab1", ElapsedMS: 12, Bytes: 100},
+			{ID: "tab2", Cached: true, ElapsedMS: 1, Bytes: 50},
+			{ID: "fig9", Err: "boom"},
+		},
+		Failed:  1,
+		WallMS:  13,
+		Metrics: r.Snapshot(),
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	m := testManifest()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "experiments" || len(back.Experiments) != 3 || back.Failed != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if mm, ok := back.Metric("a_total"); !ok || mm.Value != 3 {
+		t.Fatalf("Metric lookup: %+v %v", mm, ok)
+	}
+	if _, ok := back.Metric("nope"); ok {
+		t.Fatal("Metric found a metric that does not exist")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	testManifest().WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"3 experiments", "(1 FAILED)", "cache hit",
+		"FAILED: boom", "a_total", "runs_total{id=\"tab1\"}", "wait_ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := testManifest()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, m.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 3",
+		`runs_total{id="tab1"} 1`,
+		"# TYPE wait_ns histogram",
+		`wait_ns_bucket{le="100"} 1`,
+		`wait_ns_bucket{le="+Inf"} 2`,
+		"wait_ns_sum 550",
+		"wait_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with multiple labeled members.
+	v := NewRegistry().CounterVec("x_total", "", "id")
+	v.With("a").Inc()
+	v.With("b").Inc()
+	buf.Reset()
+	if err := WritePrometheus(&buf, v.snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "# TYPE x_total") != 1 {
+		t.Fatalf("TYPE line repeated:\n%s", buf.String())
+	}
+}

@@ -145,7 +145,10 @@ func TestPolicyEnergyComparison(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pkgW, _ := sys.RAPLPowerW(a, b)
+		pkgW, _, err := sys.RAPLPowerW(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return pkgW * 3.0
 	}
 	race := measure(RaceToIdle())

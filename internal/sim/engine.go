@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"hswsim/internal/obs"
+)
 
 // Event is a closure scheduled to run at a point in virtual time. The engine
 // passes the current virtual time (the event's due time) to the callback.
@@ -111,6 +115,36 @@ type Engine struct {
 	// Stepped is invoked after every dispatched event; nil by default.
 	// Probes (power integrators, trace writers) may hook it.
 	Stepped func(now Time)
+	// stats are plain counters (the engine is single-goroutine by
+	// design); deltas flush to the process-wide obs registry at the end
+	// of each RunUntil/Drain, keeping the per-event path atomic-free.
+	stats engineStats
+}
+
+// engineStats tracks dispatch volume and timer-pool effectiveness.
+// The flushed fields remember what has already been pushed to obs so a
+// flush adds only the delta since the previous one.
+type engineStats struct {
+	dispatched, poolReuse, poolAlloc          uint64
+	flushedDispatch, flushedReuse, flushedNew uint64
+}
+
+// flushStats pushes counter deltas to the obs registry: at most three
+// uncontended atomic adds per Run/Drain, zero per event.
+func (e *Engine) flushStats() {
+	s := &e.stats
+	if d := s.dispatched - s.flushedDispatch; d > 0 {
+		obs.SimEventsDispatched.Add(int64(d))
+		s.flushedDispatch = s.dispatched
+	}
+	if d := s.poolReuse - s.flushedReuse; d > 0 {
+		obs.SimTimerPoolReuse.Add(int64(d))
+		s.flushedReuse = s.poolReuse
+	}
+	if d := s.poolAlloc - s.flushedNew; d > 0 {
+		obs.SimTimerPoolAlloc.Add(int64(d))
+		s.flushedNew = s.poolAlloc
+	}
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -130,8 +164,10 @@ func (e *Engine) alloc() *scheduled {
 		s := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.stats.poolReuse++
 		return s
 	}
+	e.stats.poolAlloc++
 	return &scheduled{}
 }
 
@@ -291,6 +327,9 @@ func (e *Engine) IsPending(id EventID) bool {
 // been re-armed, the child dispatches the exact same schedule the
 // parent would, including ties.
 func (e *Engine) Fork() *Engine {
+	// Counted directly (forks are per sweep point, not per event). The
+	// parent is not mutated: concurrent forks of one parent stay safe.
+	obs.SimForks.Inc()
 	return &Engine{now: e.now, seq: e.seq}
 }
 
@@ -348,6 +387,7 @@ func (e *Engine) Every(start, period Time, fn Event) (stop func()) {
 // batch), re-arming periodic timers and recycling everything else.
 func (e *Engine) dispatch(s *scheduled) {
 	s.index = -1
+	e.stats.dispatched++
 	if s.period > 0 {
 		if !s.stopped {
 			s.fn(e.now)
@@ -424,6 +464,7 @@ func (e *Engine) RunUntil(t Time) {
 		e.batch = batch[:0]
 	}
 	e.now = t
+	e.flushStats()
 }
 
 // Run dispatches events for d of virtual time from now.
@@ -438,5 +479,6 @@ func (e *Engine) Drain(limit int) int {
 	for (limit <= 0 || n < limit) && e.Step() {
 		n++
 	}
+	e.flushStats()
 	return n
 }

@@ -2,8 +2,9 @@ package stats
 
 import (
 	"fmt"
-	"math"
 	"strings"
+
+	"hswsim/internal/obs"
 )
 
 // Histogram accumulates samples into fixed-width bins over [Lo, Hi).
@@ -52,10 +53,12 @@ func (h *Histogram) Add(x float64) {
 // under/overflow).
 func (h *Histogram) Count() int { return h.n }
 
-// Mean returns the mean of all recorded samples.
+// Mean returns the mean of all recorded samples, or 0 when nothing has
+// been recorded (counted as an empty-input event, see stats.Mean).
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
-		return math.NaN()
+		obs.StatsEmptyInputs.Inc()
+		return 0
 	}
 	return h.sum / float64(h.n)
 }
@@ -110,10 +113,12 @@ func (h *Histogram) Peaks(minFrac float64) []int {
 	return peaks
 }
 
-// MassIn returns the fraction of samples falling inside [lo, hi).
+// MassIn returns the fraction of samples falling inside [lo, hi), or 0
+// for an empty histogram (counted as an empty-input event).
 func (h *Histogram) MassIn(lo, hi float64) float64 {
 	if h.n == 0 {
-		return math.NaN()
+		obs.StatsEmptyInputs.Inc()
+		return 0
 	}
 	c := 0
 	for _, s := range h.samples {

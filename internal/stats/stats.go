@@ -9,12 +9,19 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"hswsim/internal/obs"
 )
 
-// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+// Mean returns the arithmetic mean of xs. An empty slice yields 0, not
+// NaN: a NaN from a missing sample set used to propagate through every
+// downstream aggregate and render as "NaN" in tables, which hid the
+// actual problem (no samples). The empty-input event is counted in the
+// obs registry so run reports can flag it.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		obs.StatsEmptyInputs.Inc()
+		return 0
 	}
 	s := 0.0
 	for _, x := range xs {
@@ -23,10 +30,12 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// Variance returns the population variance of xs, or NaN if len(xs) < 1.
+// Variance returns the population variance of xs, or 0 for an empty
+// slice (counted as an empty-input event, see Mean).
 func Variance(xs []float64) float64 {
 	if len(xs) == 0 {
-		return math.NaN()
+		obs.StatsEmptyInputs.Inc()
+		return 0
 	}
 	m := Mean(xs)
 	s := 0.0

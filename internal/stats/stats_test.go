@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"hswsim/internal/obs"
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -19,8 +21,46 @@ func TestMeanVarianceStdDev(t *testing.T) {
 	if s := StdDev(xs); s != 2 {
 		t.Fatalf("StdDev = %v, want 2", s)
 	}
-	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
-		t.Fatalf("empty-slice statistics should be NaN")
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatalf("empty-slice statistics should be a defined 0, got Mean=%v Variance=%v",
+			Mean(nil), Variance(nil))
+	}
+}
+
+// TestEmptyInputsDefined pins the empty-input contract: Mean, Variance,
+// StdDev, Histogram.Mean and Histogram.MassIn return a defined 0 (never
+// NaN) and each empty call is counted in the obs registry.
+func TestEmptyInputsDefined(t *testing.T) {
+	before := obs.StatsEmptyInputs.Value()
+	if v := Mean([]float64{}); v != 0 {
+		t.Fatalf("Mean(empty) = %v, want 0", v)
+	}
+	if v := Variance([]float64{}); v != 0 {
+		t.Fatalf("Variance(empty) = %v, want 0", v)
+	}
+	if v := StdDev(nil); v != 0 {
+		t.Fatalf("StdDev(nil) = %v, want 0", v)
+	}
+	h := NewHistogram(0, 10, 5)
+	if v := h.Mean(); v != 0 {
+		t.Fatalf("empty Histogram.Mean = %v, want 0", v)
+	}
+	if v := h.MassIn(0, 5); v != 0 {
+		t.Fatalf("empty Histogram.MassIn = %v, want 0", v)
+	}
+	if math.IsNaN(Mean(nil)) || math.IsNaN(h.Mean()) {
+		t.Fatal("empty-input statistics must never be NaN")
+	}
+	if got := obs.StatsEmptyInputs.Value(); got <= before {
+		t.Fatalf("obs.StatsEmptyInputs did not advance: %d -> %d", before, got)
+	}
+	// Non-empty inputs must not count.
+	mid := obs.StatsEmptyInputs.Value()
+	Mean([]float64{1, 2})
+	h.Add(3)
+	h.Mean()
+	if got := obs.StatsEmptyInputs.Value(); got != mid {
+		t.Fatalf("non-empty inputs advanced StatsEmptyInputs: %d -> %d", mid, got)
 	}
 }
 

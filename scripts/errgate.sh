@@ -1,0 +1,22 @@
+#!/bin/sh
+# errgate.sh — fail CI when a non-test Go file discards the result of a
+# call with `_ = f(...)`. Silently dropped errors are how this repo got
+# its 0 W RAPL readings and swallowed cache-put failures; errors must be
+# propagated, or counted in the obs registry with a comment saying why
+# propagation is impossible (matched lines carrying an `//errgate:ok`
+# marker are exempt).
+#
+# The pattern deliberately targets *call* results. Plain value discards
+# (`_ = spec` to silence an unused variable) are not flagged.
+set -eu
+cd "$(dirname "$0")/.."
+
+found=$(grep -rn --include='*.go' -E '^[[:space:]]*_ = [A-Za-z_][A-Za-z0-9_.]*\(' \
+	--exclude='*_test.go' . | grep -v 'errgate:ok' || true)
+
+if [ -n "$found" ]; then
+	echo "errgate: discarded call results found (propagate the error or count it in obs):" >&2
+	echo "$found" >&2
+	exit 1
+fi
+echo "errgate: no discarded call results"
