@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate tracegate ci
 
 all: build
 
@@ -46,8 +46,15 @@ golden:
 errgate:
 	scripts/errgate.sh
 
-# ci: the full gate — vet, the discarded-error grep, race-enabled tests
-# (includes the suite scheduler determinism test), benchmark smoke,
-# perf regression diff, and the serial-vs-forked-parallel golden
-# comparison.
-ci: vet errgate race bench bench-compare golden
+# tracegate: no raw trace.Buffer construction or storage outside
+# internal/trace — span-producing subsystems record through the
+# trace.Collector so episode pairing, drop counting and Fork cloning
+# cannot be bypassed.
+tracegate:
+	scripts/tracegate.sh
+
+# ci: the full gate — vet, the discarded-error and raw-buffer greps,
+# race-enabled tests (includes the suite scheduler determinism test),
+# benchmark smoke, perf regression diff, and the
+# serial-vs-forked-parallel golden comparison.
+ci: vet errgate tracegate race bench bench-compare golden

@@ -47,6 +47,7 @@ import (
 	"hswsim/internal/exp"
 	"hswsim/internal/expcache"
 	"hswsim/internal/obs"
+	"hswsim/internal/trace"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "report per-experiment timing and cache status on stderr")
 	reportPath := fs.String("report", "", "write a JSON run manifest (status + metrics) to this file and summarize it on stderr")
 	promPath := fs.String("report-prom", "", "write the metrics snapshot in Prometheus text format to this file")
+	traceVT := fs.String("trace-vt", "", "write the run's virtual-time span trace to this file (.json = Chrome trace-event format for Perfetto, anything else = text timeline); forces live runs")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -103,28 +105,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 			f.Close()
 		}()
 	}
+	// The heap profile is written after the run body returns (not in a
+	// deferred closure, whose failure could not affect the exit code).
+	// The file opens up front so a bad path fails fast like the
+	// -cpuprofile and -trace open paths.
+	var memProfileFile *os.File
 	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				fmt.Fprintf(stderr, "memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // up-to-date live-object statistics
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(stderr, "memprofile: %v\n", err)
-			}
-		}()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 2
+		}
+		memProfileFile = f
 	}
+	code := runBody(runFlags{
+		runIDs:   *runIDs,
+		scale:    *scale,
+		seed:     *seed,
+		csv:      *csv,
+		cacheDir: *cacheDir,
+		noCache:  *noCache,
+		verbose:  *verbose,
+		report:   *reportPath,
+		prom:     *promPath,
+		traceVT:  *traceVT,
+	}, fs, stdout, stderr)
+	if memProfileFile != nil {
+		if err := writeMemProfile(memProfileFile); err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			if code == 0 {
+				code = 2
+			}
+		}
+	}
+	return code
+}
 
-	o := exp.Options{Scale: *scale, Seed: *seed}
+// writeMemProfile dumps the allocs profile into the already-open file.
+func writeMemProfile(f *os.File) error {
+	runtime.GC() // up-to-date live-object statistics
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runFlags carries the parsed request into runBody.
+type runFlags struct {
+	runIDs   string
+	scale    float64
+	seed     uint64
+	csv      bool
+	cacheDir string
+	noCache  bool
+	verbose  bool
+	report   string
+	prom     string
+	traceVT  string
+}
+
+// runBody resolves the request and runs the suite — everything between
+// profile setup and profile teardown.
+func runBody(fl runFlags, fs *flag.FlagSet, stdout, stderr io.Writer) int {
+	o := exp.Options{Scale: fl.scale, Seed: fl.seed}
 
 	// Resolve the request against the suite before anything runs: an
 	// unknown id anywhere in the list is an up-front error, not a
 	// silently dropped token.
 	want := map[string]bool{}
-	for _, id := range strings.Split(*runIDs, ",") {
+	for _, id := range strings.Split(fl.runIDs, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			want[id] = true
 		}
@@ -156,8 +206,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var cache exp.Cache
-	if !*noCache && *cacheDir != "" {
-		c, err := expcache.Open(*cacheDir)
+	if !fl.noCache && fl.cacheDir != "" {
+		c, err := expcache.Open(fl.cacheDir)
 		if err != nil {
 			fmt.Fprintf(stderr, "warning: result cache disabled: %v\n", err)
 		} else {
@@ -165,13 +215,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Span tracing needs live runs: the trace is recorded by living
+	// through the simulation, so cached bytes carry no trace.
+	var spanTrace *exp.SpanTrace
+	if fl.traceVT != "" {
+		if cache != nil {
+			fmt.Fprintln(stderr, "note: -trace-vt forces live runs (result cache bypassed)")
+			cache = nil
+		}
+		spanTrace = exp.EnableSpanTrace(1 << 14)
+		defer exp.DisableSpanTrace()
+	}
+	// Wall-clock harness spans cost one lock per experiment/point/slot;
+	// record them whenever some out-of-band report will surface them.
+	var harness *trace.WallCollector
+	if fl.report != "" || fl.prom != "" || fl.traceVT != "" {
+		harness = exp.EnableHarnessSpans(1 << 16)
+		defer exp.DisableHarnessSpans()
+	}
+
 	manifest := &obs.Manifest{
 		Tool: "experiments",
 		Args: map[string]string{
-			"run":   *runIDs,
-			"scale": fmt.Sprintf("%g", *scale),
-			"seed":  fmt.Sprintf("%#x", *seed),
-			"csv":   fmt.Sprintf("%t", *csv),
+			"run":   fl.runIDs,
+			"scale": fmt.Sprintf("%g", fl.scale),
+			"seed":  fmt.Sprintf("%#x", fl.seed),
+			"csv":   fmt.Sprintf("%t", fl.csv),
 			"cache": fmt.Sprintf("%t", cache != nil),
 		},
 	}
@@ -180,7 +249,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Run everything requested even when some experiments fail; report
 	// every failure and exit nonzero at the end.
 	failed := 0
-	exp.RunSuite(ids, o, *csv, cache, func(r exp.SuiteResult) {
+	exp.RunSuite(ids, o, fl.csv, cache, func(r exp.SuiteResult) {
 		info := obs.ExperimentInfo{
 			ID: r.ID, Cached: r.Cached,
 			ElapsedMS: r.Elapsed.Milliseconds(), Bytes: len(r.Output),
@@ -196,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stdout.Write(r.Output)
 		fmt.Fprintln(stdout)
 		manifest.Experiments = append(manifest.Experiments, info)
-		if *verbose {
+		if fl.verbose {
 			how := "ran"
 			if r.Cached {
 				how = "cache hit"
@@ -204,20 +273,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "%s: %s in %v\n", r.ID, how, r.Elapsed.Round(time.Millisecond))
 		}
 	})
-	if *reportPath != "" || *promPath != "" {
+	if spanTrace != nil {
+		if err := writeSpanTrace(fl.traceVT, spanTrace); err != nil {
+			fmt.Fprintf(stderr, "trace-vt: %v\n", err)
+			failed++
+		}
+	}
+	if fl.report != "" || fl.prom != "" {
 		manifest.Failed = failed
 		manifest.WallMS = time.Since(wallStart).Milliseconds()
 		manifest.Metrics = obs.Snapshot()
-		if *reportPath != "" {
-			if err := writeManifest(*reportPath, manifest); err != nil {
+		if spanTrace != nil {
+			manifest.Traces = spanTrace.Infos()
+		}
+		for _, cat := range harness.Summary() {
+			manifest.Harness = append(manifest.Harness, obs.HarnessCat{
+				Cat: cat.Cat, Count: cat.Count, TotalMS: cat.Total.Milliseconds(),
+			})
+		}
+		if fl.report != "" {
+			if err := writeManifest(fl.report, manifest); err != nil {
 				fmt.Fprintf(stderr, "report: %v\n", err)
 				failed++
 			} else {
 				manifest.WriteSummary(stderr)
 			}
 		}
-		if *promPath != "" {
-			if err := writeProm(*promPath, manifest.Metrics); err != nil {
+		if fl.prom != "" {
+			if err := writeProm(fl.prom, manifest.Metrics); err != nil {
 				fmt.Fprintf(stderr, "report-prom: %v\n", err)
 				failed++
 			}
@@ -228,6 +311,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeSpanTrace exports the captured virtual-time trace: Chrome
+// trace-event JSON for .json paths, the text timeline otherwise.
+func writeSpanTrace(path string, st *exp.SpanTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".json") {
+		werr = st.WriteChrome(f)
+	} else {
+		werr = st.WriteTimeline(f)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
 }
 
 func writeManifest(path string, m *obs.Manifest) error {

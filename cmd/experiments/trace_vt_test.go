@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hswsim/internal/obs"
+)
+
+// TestTraceVTByteIdenticalAndOutOfBand is the acceptance gate for the
+// virtual-time span trace: two identical -trace-vt runs must write
+// byte-identical valid Chrome trace-event JSON, and the trace must be
+// strictly out-of-band — stdout stays byte-identical to an untraced run.
+func TestTraceVTByteIdenticalAndOutOfBand(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-run", "fig1,fig5", "-scale", "0.05", "-seed", "0x5eed"}
+
+	do := func(extra ...string) (stdout, stderr bytes.Buffer, code int) {
+		code = run(append(append([]string{}, base...), extra...), &stdout, &stderr)
+		return
+	}
+
+	plain, perr, pcode := do()
+	if pcode != 0 {
+		t.Fatalf("plain run exit %d, stderr:\n%s", pcode, perr.String())
+	}
+
+	traceA := filepath.Join(dir, "a.json")
+	outA, errA, codeA := do("-trace-vt", traceA)
+	if codeA != 0 {
+		t.Fatalf("traced run exit %d, stderr:\n%s", codeA, errA.String())
+	}
+	traceB := filepath.Join(dir, "b.json")
+	outB, errB, codeB := do("-trace-vt", traceB)
+	if codeB != 0 {
+		t.Fatalf("second traced run exit %d, stderr:\n%s", codeB, errB.String())
+	}
+
+	if !bytes.Equal(plain.Bytes(), outA.Bytes()) {
+		t.Error("-trace-vt changed stdout")
+	}
+	rawA, err := os.ReadFile(traceA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(traceB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(rawA) {
+		t.Fatalf("trace is not valid JSON (%d bytes)", len(rawA))
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Errorf("identical runs wrote different traces (%d vs %d bytes)", len(rawA), len(rawB))
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawA, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if !bytes.Equal(outA.Bytes(), outB.Bytes()) {
+		t.Error("traced runs disagree on stdout")
+	}
+}
+
+// TestTraceVTTimelineFormat: a non-.json path selects the text timeline.
+func TestTraceVTTimelineFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "fig5", "-scale", "0.05", "-trace-vt", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("== fig5#0:")) {
+		t.Fatalf("timeline missing section header:\n%.200s", raw)
+	}
+}
+
+// TestTraceVTBypassesCacheAndReports: -trace-vt with a cache directory
+// forces live runs (with a note), the manifest carries the per-trace
+// summary, and an unwritable trace path fails the run.
+func TestTraceVTBypassesCacheAndReports(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	report := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "fig5", "-scale", "0.05",
+		"-cache-dir", cacheDir, "-trace-vt", filepath.Join(dir, "t.json"),
+		"-report", report}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("result cache bypassed")) {
+		t.Errorf("missing cache-bypass note, stderr:\n%s", stderr.String())
+	}
+	var m obs.Manifest
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Traces) == 0 || m.Traces[0].Label != "fig5#0" || m.Traces[0].Spans == 0 {
+		t.Fatalf("manifest traces = %+v", m.Traces)
+	}
+	if len(m.Harness) == 0 {
+		t.Fatal("manifest missing harness span summary")
+	}
+
+	var so, se bytes.Buffer
+	badPath := filepath.Join(dir, "missing-dir", "t.json")
+	if code := run([]string{"-run", "fig1", "-scale", "0.05", "-trace-vt", badPath}, &so, &se); code == 0 {
+		t.Fatal("unwritable trace path did not fail the run")
+	}
+}
+
+// TestMemProfileWriteFailureExitsNonzero pins the -memprofile error
+// handling: a path that cannot be created fails fast with exit 2.
+func TestMemProfileWriteFailureExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "heap.pprof")
+	code := run([]string{"-run", "fig1", "-scale", "0.05", "-memprofile", bad}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("memprofile")) {
+		t.Fatalf("missing memprofile diagnostic:\n%s", stderr.String())
+	}
+}
+
+// TestMemProfileWritten: the happy path still writes a parseable
+// profile and exits zero.
+func TestMemProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-run", "fig1", "-scale", "0.05", "-memprofile", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+}

@@ -45,6 +45,15 @@ type Core struct {
 
 	lastRequestAt sim.Time
 
+	// Span bookkeeping for the in-flight p-state transition (valid only
+	// while tracing and a completion event is pending): applyGrantTagged
+	// stamps the request/grant coordinates so onComplete can record the
+	// request→complete and grant→complete spans without replaying the
+	// domain's transition log.
+	spanReqAt   sim.Time
+	spanGrantAt sim.Time
+	spanFrom    uarch.MHz
+
 	// completeFn is the persistent transition-completion event (one
 	// method value per core instead of one closure per transition; stale
 	// firings no-op inside Domain.Complete).
@@ -91,6 +100,10 @@ func (c *Core) onComplete(t sim.Time) {
 		if tr := c.sk.sys.trace; tr != nil {
 			tr.Emitf(t, trace.PStateComplete, c.sk.Index, c.CPU,
 				"now %v", c.dom.Granted())
+			tr.Addf(trace.SpanPState, c.sk.Index, c.CPU, c.spanReqAt, t,
+				"%v -> %v", c.spanFrom, c.dom.Granted())
+			tr.Addf(trace.SpanPStateSwitch, c.sk.Index, c.CPU, c.spanGrantAt, t,
+				"%v -> %v", c.spanFrom, c.dom.Granted())
 		}
 	}
 }
@@ -103,9 +116,13 @@ func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
 	c.profCacheOK = false
 	c.sk.markDirty()
 	if k == nil {
+		prev := c.cstateNow
 		c.cstateNow = c.sk.sys.cfg.IdleState
 		if tr := c.sk.sys.trace; tr != nil {
 			tr.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v (idle)", c.cstateNow)
+			if prev != c.cstateNow {
+				tr.Begin(now, trace.SpanCState, c.sk.Index, c.CPU, c.cstateNow.String())
+			}
 		}
 		return
 	}
@@ -113,6 +130,7 @@ func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
 		if tr := c.sk.sys.trace; tr != nil {
 			tr.Emitf(now, trace.CStateExit, c.sk.Index, c.CPU,
 				"%v -> C0 running %q", c.cstateNow, k.Name())
+			tr.Begin(now, trace.SpanCState, c.sk.Index, c.CPU, "C0")
 		}
 	}
 	c.cstateNow = cstate.C0
@@ -214,6 +232,7 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 		if tr := c.sk.sys.trace; tr != nil {
 			tr.Emitf(now, trace.PStateGrant, c.sk.Index, c.CPU,
 				"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
+			c.spanReqAt, c.spanGrantAt, c.spanFrom = requestedAt, now, c.dom.Granted()
 		}
 		c.completeEv = c.sk.sys.Engine.At(now+switchTime, c.completeFn)
 	}

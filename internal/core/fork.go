@@ -70,6 +70,13 @@ func (s *System) Fork() (*System, error) {
 		epb:           s.epb,
 		trace:         s.trace.Clone(),
 	}
+	// The cloned collector carries the parent's cumulative counters;
+	// baseline the child's flush marks there so the child reports only
+	// its own post-fork spans to obs (the parent flushes its own
+	// pre-fork deltas on its next Run).
+	n.traceSpansFlushed = n.trace.SpansRecorded()
+	n.traceSpanDropsFlushed = n.trace.SpanDrops()
+	n.traceEventDropsFlushed = n.trace.EventDrops()
 	for _, sk := range s.sockets {
 		n.sockets = append(n.sockets, sk.fork(n))
 	}
@@ -161,6 +168,10 @@ func (c *Core) fork(sk *Socket) *Core {
 		lastSD:    c.lastSD,
 
 		lastRequestAt: c.lastRequestAt,
+
+		spanReqAt:   c.spanReqAt,
+		spanGrantAt: c.spanGrantAt,
+		spanFrom:    c.spanFrom,
 
 		resid: c.resid.clone(),
 

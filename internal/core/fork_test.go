@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hswsim/internal/sim"
+	"hswsim/internal/trace"
 	"hswsim/internal/uarch"
 	"hswsim/internal/workload"
 )
@@ -30,6 +31,9 @@ type forkFingerprint struct {
 	Instr       []uint64
 	Meter       string
 	TraceRender string
+	Spans       []trace.Span
+	OpenSpans   []trace.Span
+	SpanStats   [3]uint64 // recorded, span drops, event drops
 	ACPower     float64
 }
 
@@ -60,6 +64,11 @@ func fingerprint(t *testing.T, s *System) forkFingerprint {
 		fp.Meter += smp.At.String() + ":" + strconv.FormatUint(math.Float64bits(smp.W), 16) + " "
 	}
 	fp.TraceRender = s.Trace().Render(1 << 20)
+	fp.Spans = s.Trace().Spans()
+	fp.OpenSpans = s.Trace().Open(s.Now())
+	fp.SpanStats = [3]uint64{
+		s.Trace().SpansRecorded(), s.Trace().SpanDrops(), s.Trace().EventDrops(),
+	}
 	return fp
 }
 

@@ -150,7 +150,15 @@ func (s *System) wireMSRs() {
 			s.integrateTo(s.Engine.Now())
 			sock := s.SocketOf(cpu)
 			s.pkgLimitMSR[sock] = v
-			s.trace.Emitf(s.Engine.Now(), trace.PowerLimit, sock, -1, "raw %#x", v)
+			if tr := s.trace; tr != nil {
+				now := s.Engine.Now()
+				tr.Emitf(now, trace.PowerLimit, sock, -1, "raw %#x", v)
+				if v&(1<<15) != 0 {
+					tr.Beginf(now, trace.SpanPowerLimit, sock, -1, "%.1f W", float64(v&0x7FFF)/8)
+				} else {
+					tr.Beginf(now, trace.SpanPowerLimit, sock, -1, "TDP %.1f W", spec.Power.TDP)
+				}
+			}
 			if v&(1<<15) != 0 {
 				s.sockets[sock].PCU.SetTDPWatts(float64(v&0x7FFF) / 8)
 			} else {

@@ -199,11 +199,13 @@ func (sk *Socket) pcuTick(now sim.Time) {
 	for i, c := range sk.cores {
 		if dec.AVXMode[i] != c.avxMode {
 			if tr := sk.sys.trace; tr != nil {
-				kind := trace.AVXExit
 				if dec.AVXMode[i] {
-					kind = trace.AVXEnter
+					tr.Emitf(now, trace.AVXEnter, sk.Index, c.CPU, "")
+					tr.Begin(now, trace.SpanAVX, sk.Index, c.CPU, "avx")
+				} else {
+					tr.Emitf(now, trace.AVXExit, sk.Index, c.CPU, "")
+					tr.End(now, trace.SpanAVX, sk.Index, c.CPU)
 				}
-				tr.Emitf(now, kind, sk.Index, c.CPU, "")
 			}
 			sk.markDirty()
 		}
@@ -225,6 +227,7 @@ func (sk *Socket) pcuTick(now sim.Time) {
 		if tr := sk.sys.trace; tr != nil {
 			tr.Emitf(now, trace.UncoreChange, sk.Index, -1,
 				"%v -> %v", sk.uncoreMHz, dec.UncoreMHz)
+			tr.Beginf(now, trace.SpanUncore, sk.Index, -1, "%v", dec.UncoreMHz)
 		}
 		sk.uncoreMHz = dec.UncoreMHz
 		sk.uncoreReg.SetFrequency(dec.UncoreMHz)

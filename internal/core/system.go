@@ -126,19 +126,44 @@ type System struct {
 	statesBuf []cstate.State
 
 	// trace is nil unless EnableTrace was called (nil is a valid no-op
-	// recorder).
-	trace *trace.Buffer
+	// recorder; every hot call site still guards, because formatting
+	// arguments for a discarded record would allocate).
+	trace *trace.Collector
+	// traceFlushed mirrors the collector's cumulative counters at the
+	// last flushObs, so only deltas reach the obs registry (same
+	// pattern as the sockets' integration-segment counters).
+	traceSpansFlushed      uint64
+	traceSpanDropsFlushed  uint64
+	traceEventDropsFlushed uint64
 }
 
-// EnableTrace starts recording platform events into a bounded ring
-// buffer and returns it.
-func (s *System) EnableTrace(capacity int) *trace.Buffer {
-	s.trace = trace.New(capacity)
+// EnableTrace starts recording platform activity into a span-based
+// virtual-time collector (capacity bounds both the leaf-event ring and
+// the completed-span ring) and returns it. The collector is seeded
+// with the platform's current episodic state — every core's c-state,
+// each package's c-state, uncore frequency and power limit — so the
+// first exported residency span of each scope starts at enable time
+// rather than at the first subsequent change.
+func (s *System) EnableTrace(capacity int) *trace.Collector {
+	s.trace = trace.NewCollector(capacity, capacity)
+	now := s.Engine.Now()
+	for _, sk := range s.sockets {
+		for _, c := range sk.cores {
+			s.trace.Begin(now, trace.SpanCState, sk.Index, c.CPU, c.cstateNow.String())
+			if c.avxMode {
+				s.trace.Begin(now, trace.SpanAVX, sk.Index, c.CPU, "avx")
+			}
+		}
+		s.trace.Beginf(now, trace.SpanUncore, sk.Index, -1, "%v", sk.uncoreMHz)
+		s.trace.Begin(now, trace.SpanPkgCState, sk.Index, -1, sk.pkgCState.String())
+		s.trace.Beginf(now, trace.SpanPowerLimit, sk.Index, -1, "%.1f W",
+			float64(s.pkgLimitMSR[sk.Index]&0x7FFF)/8)
+	}
 	return s.trace
 }
 
-// Trace returns the trace buffer (nil when tracing is disabled).
-func (s *System) Trace() *trace.Buffer { return s.trace }
+// Trace returns the trace collector (nil when tracing is disabled).
+func (s *System) Trace() *trace.Collector { return s.trace }
 
 // NewSystem builds and starts the platform clockwork (PCU grids and the
 // power meter are armed; no workload runs yet).
@@ -254,6 +279,20 @@ func (s *System) flushObs() {
 		if d := sk.statFull - sk.statFullFlushed; d > 0 {
 			obs.PowerSegFulls.Add(int64(d))
 			sk.statFullFlushed = sk.statFull
+		}
+	}
+	if tr := s.trace; tr != nil {
+		if v := tr.SpansRecorded(); v > s.traceSpansFlushed {
+			obs.TraceSpans.Add(int64(v - s.traceSpansFlushed))
+			s.traceSpansFlushed = v
+		}
+		if v := tr.SpanDrops(); v > s.traceSpanDropsFlushed {
+			obs.TraceSpanDrops.Add(int64(v - s.traceSpanDropsFlushed))
+			s.traceSpanDropsFlushed = v
+		}
+		if v := tr.EventDrops(); v > s.traceEventDropsFlushed {
+			obs.TraceEventDrops.Add(int64(v - s.traceEventDropsFlushed))
+			s.traceEventDropsFlushed = v
 		}
 	}
 }
@@ -388,6 +427,7 @@ func (s *System) refreshPackageStates() {
 			if tr := s.trace; tr != nil {
 				tr.Emitf(now, trace.PkgCStateChange, sk.Index, -1,
 					"%v -> %v", sk.pkgCState, next)
+				tr.Begin(now, trace.SpanPkgCState, sk.Index, -1, next.String())
 			}
 			// Package state gates the uncore clock: the memoized
 			// operating point no longer holds.

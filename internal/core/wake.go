@@ -6,6 +6,7 @@ import (
 	"hswsim/internal/cstate"
 	"hswsim/internal/msr"
 	"hswsim/internal/sim"
+	"hswsim/internal/trace"
 	"hswsim/internal/uarch"
 	"hswsim/internal/workload"
 )
@@ -24,8 +25,14 @@ func (s *System) SleepCore(cpu int, st cstate.State) error {
 	if st == cstate.C0 {
 		return fmt.Errorf("core: C0 is not an idle state")
 	}
-	s.integrateTo(s.Engine.Now())
+	now := s.Engine.Now()
+	s.integrateTo(now)
+	prev := c.cstateNow
 	c.cstateNow = st
+	if tr := s.trace; tr != nil && prev != st {
+		tr.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v -> %v (idle governor)", prev, st)
+		tr.Begin(now, trace.SpanCState, c.sk.Index, c.CPU, st.String())
+	}
 	c.sk.markDirty()
 	s.refreshPackageStates()
 	return nil
@@ -104,6 +111,10 @@ func (s *System) WakeCore(waker, wakee int, k workload.Kernel) (WakeResult, erro
 	}
 	s.Engine.At(now+lat, func(t sim.Time) {
 		s.integrateTo(t)
+		if tr := s.trace; tr != nil {
+			tr.Addf(trace.SpanWake, we.sk.Index, we.CPU, now, t,
+				"%v %v", res.FromState, res.Scenario)
+		}
 		we.assign(t, k, 1)
 		s.refreshPackageStates()
 	})

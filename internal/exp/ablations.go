@@ -238,7 +238,7 @@ func fig2WithMode(mode uarch.RAPLMode, o Options) (*Fig2Result, error) {
 	avgDur := o.dur(4 * sim.Second)
 	// Same shape as Fig2 proper: one idle parent, a fork per
 	// (kernel, concurrency) point, points run concurrently.
-	parent, err := core.NewSystem(cfg)
+	parent, err := o.newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}

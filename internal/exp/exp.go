@@ -20,6 +20,13 @@ import (
 type Options struct {
 	Scale float64
 	Seed  uint64
+
+	// traceExp carries the experiment id into newSystem while a span
+	// trace is being captured (set by runOne, never by callers). It is
+	// part of the cache key via %#v, which is intentional: traced runs
+	// must never replay cached bytes — the trace comes from living
+	// through the run.
+	traceExp string
 }
 
 // Defaults returns full-fidelity options.
@@ -59,7 +66,7 @@ func (o Options) newHSW() (*core.System, error) {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
-	return core.NewSystem(cfg)
+	return o.newSystem(cfg)
 }
 
 // settingLabel renders a frequency setting, using "Turbo" for the

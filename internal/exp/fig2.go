@@ -73,7 +73,7 @@ func Fig2(gen uarch.Generation, o Options) (*Fig2Result, error) {
 	}
 	// Every (kernel, concurrency) point runs on its own fork of one
 	// shared idle parent platform.
-	parent, err := core.NewSystem(cfg)
+	parent, err := o.newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}

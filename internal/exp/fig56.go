@@ -41,7 +41,7 @@ func CStateLatencies(state cstate.State, o Options) (*CStateResult, error) {
 			cfg.Seed = o.Seed
 		}
 		for _, sc := range []cstate.Scenario{cstate.Local, cstate.RemoteActive, cstate.RemoteIdle} {
-			sys, err := core.NewSystem(cfg)
+			sys, err := o.newSystem(cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -108,7 +108,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 		if o.Seed != 0 {
 			cfg.Seed = o.Seed
 		}
-		parent, err := core.NewSystem(cfg)
+		parent, err := o.newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +259,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 	}
 	// Each grid point runs on its own fork of one shared idle parent:
 	// embarrassingly parallel without affecting determinism.
-	parent, err := core.NewSystem(cfg)
+	parent, err := o.newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}

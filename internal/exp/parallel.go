@@ -49,8 +49,12 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 				return
 			}
 			obs.ExpPoints.Inc()
+			pointEnd := wallSpan("point", "")
 			if results[i], errs[i] = fn(items[i]); errs[i] != nil {
 				failed.Store(true)
+			}
+			if pointEnd != nil {
+				pointEnd()
 			}
 		}
 	}
@@ -64,7 +68,11 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 			case sched.c <- struct{}{}:
 				obs.SchedSlotAcquires.Inc()
 				obs.SchedSlotsBusy.Add(1)
+				helperEnd := wallSpan("slot", "helper")
 				work()
+				if helperEnd != nil {
+					helperEnd()
+				}
 				<-sched.c
 				obs.SchedSlotsBusy.Add(-1)
 			case <-done:

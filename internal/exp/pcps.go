@@ -39,7 +39,7 @@ func PCPSStudy(o Options) ([]PCPSVariant, *report.Table, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = o.Seed
 		cfg.PCPSEnabled = v.pcps
-		sys, err := core.NewSystem(cfg)
+		sys, err := o.newSystem(cfg)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hswsim/internal/cstate"
+	"hswsim/internal/sim"
+	"hswsim/internal/trace"
+)
+
+// captureTrace runs one experiment under a fresh span-trace recorder and
+// returns the experiment output plus the recorder.
+func captureTrace(t *testing.T, id string) ([]byte, *SpanTrace) {
+	t.Helper()
+	st := EnableSpanTrace(1 << 12)
+	defer DisableSpanTrace()
+	var out []byte
+	RunSuite([]string{id}, Quick(), false, nil, func(r SuiteResult) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		out = r.Output
+	})
+	return out, st
+}
+
+func TestSpanTraceRegistersPlatforms(t *testing.T) {
+	_, st := captureTrace(t, "fig5")
+	infos := st.Infos()
+	if len(infos) == 0 {
+		t.Fatal("no collectors registered for fig5")
+	}
+	if infos[0].Label != "fig5#0" {
+		t.Fatalf("first section = %q, want fig5#0", infos[0].Label)
+	}
+	if infos[0].Spans == 0 {
+		t.Fatal("registered collector recorded no spans")
+	}
+}
+
+func TestSpanTraceChromeExportValidAndDeterministic(t *testing.T) {
+	_, st1 := captureTrace(t, "fig5")
+	_, st2 := captureTrace(t, "fig5")
+	var a, b bytes.Buffer
+	if err := st1.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("invalid Chrome JSON (%d bytes)", a.Len())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical traced runs exported different Chrome JSON")
+	}
+	var tl bytes.Buffer
+	if err := st1.WriteTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tl.String(), "== fig5#0:") {
+		t.Fatalf("timeline missing section header:\n%.200s", tl.String())
+	}
+}
+
+func TestSpanTraceLeavesExperimentOutputUnchanged(t *testing.T) {
+	// Tracing must be strictly out-of-band: the rendered experiment
+	// bytes with a recorder installed are identical to an untraced run.
+	traced, _ := captureTrace(t, "fig5")
+	var plain []byte
+	RunSuite([]string{"fig5"}, Quick(), false, nil, func(r SuiteResult) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		plain = r.Output
+	})
+	if !bytes.Equal(traced, plain) {
+		t.Fatal("span tracing changed the experiment output")
+	}
+}
+
+// TestFig3TraceReproducesTransitionLatencies asserts the paper's
+// p-state transition envelope from the exported spans rather than from
+// internal state: every transition the Figure 3 measurement drove must
+// appear in the trace with a duration inside the grid-bounded envelope,
+// and beyond the inapplicable 10 us ACPI estimate at the top end.
+func TestFig3TraceReproducesTransitionLatencies(t *testing.T) {
+	_, st := captureTrace(t, "fig3")
+	secs := st.sections()
+	// One platform per measurement class.
+	if len(secs) != 4 {
+		t.Fatalf("fig3 registered %d platforms, want 4", len(secs))
+	}
+	const grid = 500 * sim.Microsecond
+	for _, sec := range secs {
+		q := trace.NewQuery(sec.C.Spans()).Kind(trace.SpanPState).CPU(0)
+		if q.Count() < 10 {
+			t.Fatalf("%s: %d transition spans, want the measured series", sec.Name, q.Count())
+		}
+		for _, sp := range q.Spans() {
+			// One grid period (plus jitter and the regulator switch)
+			// bounds every transition; nothing is instantaneous.
+			if sp.Duration() <= 0 || sp.Duration() > 2*grid {
+				t.Errorf("%s: span %v outside (0, %v]", sec.Name, sp, 2*grid)
+			}
+		}
+		if q.MaxDuration() <= cstate.ACPITransitionLatencyPState {
+			t.Errorf("%s: max %v never exceeds the 10 us ACPI estimate — grid waits missing",
+				sec.Name, q.MaxDuration())
+		}
+	}
+}
+
+func TestHarnessSpansRecordSuiteActivity(t *testing.T) {
+	hc := EnableHarnessSpans(1 << 10)
+	defer DisableHarnessSpans()
+	RunSuite([]string{"fig1"}, Quick(), false, nil, func(r SuiteResult) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+	})
+	cats := map[string]int{}
+	for _, c := range hc.Summary() {
+		cats[c.Cat] = c.Count
+	}
+	// Every experiment produces one "experiment" span and one "slot"
+	// occupancy span.
+	if cats["experiment"] != 1 || cats["slot"] < 1 {
+		t.Fatalf("harness categories = %v", cats)
+	}
+	if wallSpan("x", "y") == nil {
+		t.Fatal("wallSpan disabled while a recorder is installed")
+	}
+	DisableHarnessSpans()
+	if wallSpan("x", "y") != nil {
+		t.Fatal("wallSpan active after DisableHarnessSpans")
+	}
+}

@@ -282,16 +282,29 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 	if !ok {
 		return SuiteResult{ID: id, Err: fmt.Errorf("unknown experiment id %q", id)}
 	}
+	if activeSpanTrace.Load() != nil {
+		// Mark the options so newSystem registers this experiment's
+		// platforms — and so the cache key differs from untraced runs.
+		o.traceExp = id
+	}
 	start := time.Now()
 	if cache != nil {
 		if out, hit := cache.Get(id, o, csv); hit {
 			return SuiteResult{ID: id, Output: out, Cached: true, Elapsed: time.Since(start)}
 		}
 	}
+	expEnd := wallSpan("experiment", id)
 	sched.acquire()
+	slotEnd := wallSpan("slot", id)
 	var buf bytes.Buffer
 	err := d.Run(o, &buf, csv)
+	if slotEnd != nil {
+		slotEnd()
+	}
 	sched.release()
+	if expEnd != nil {
+		expEnd()
+	}
 	if err != nil {
 		return SuiteResult{ID: id, Err: err, Elapsed: time.Since(start)}
 	}

@@ -249,7 +249,7 @@ func Table5(o Options) ([]Table5Cell, *report.Table, error) {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
-	parent, err := core.NewSystem(cfg)
+	parent, err := o.newSystem(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

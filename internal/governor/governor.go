@@ -15,6 +15,7 @@ import (
 	"hswsim/internal/core"
 	"hswsim/internal/perfctr"
 	"hswsim/internal/sim"
+	"hswsim/internal/trace"
 	"hswsim/internal/uarch"
 )
 
@@ -184,6 +185,9 @@ func (r *Runner) Start() {
 	for i, cpu := range r.cpus {
 		r.last[i] = r.sys.Core(cpu).Snapshot()
 	}
+	if tr := r.sys.Trace(); tr != nil {
+		tr.Begin(r.sys.Now(), trace.SpanGovernor, -1, r.epochCPU(), r.gov.Name())
+	}
 	r.stop = r.sys.Engine.Every(r.sys.Now()+r.period, r.period, func(now sim.Time) {
 		r.step()
 	})
@@ -192,12 +196,30 @@ func (r *Runner) Start() {
 // Stop detaches the governor.
 func (r *Runner) Stop() {
 	if r.stop != nil {
+		if tr := r.sys.Trace(); tr != nil {
+			tr.End(r.sys.Now(), trace.SpanGovernor, -1, r.epochCPU())
+		}
 		r.stop()
 		r.stop = nil
 	}
 }
 
+// epochCPU keys the governor's epoch spans: the first governed CPU (-1
+// when the runner governs nothing), so several runners on one platform
+// trace independent episodes.
+func (r *Runner) epochCPU() int {
+	if len(r.cpus) == 0 {
+		return -1
+	}
+	return r.cpus[0]
+}
+
 func (r *Runner) step() {
+	// Each sample closes the previous governor epoch and opens the next
+	// one — one span per sampling interval.
+	if tr := r.sys.Trace(); tr != nil {
+		tr.Begin(r.sys.Now(), trace.SpanGovernor, -1, r.epochCPU(), r.gov.Name())
+	}
 	spec := r.sys.Spec()
 	for i, cpu := range r.cpus {
 		snap := r.sys.Core(cpu).Snapshot()

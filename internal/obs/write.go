@@ -20,6 +20,30 @@ type Manifest struct {
 	Failed  int      `json:"failed"`
 	WallMS  int64    `json:"wall_ms"`
 	Metrics []Metric `json:"metrics"`
+	// Traces lists the virtual-time trace collectors a -trace-vt run
+	// captured, with per-buffer drop counts so a truncated export is
+	// visible in the report, not just in aggregate counters.
+	Traces []TraceInfo `json:"traces,omitempty"`
+	// Harness summarizes the wall-clock harness spans by category
+	// (experiment / sweep point / scheduler slot occupancy).
+	Harness []HarnessCat `json:"harness,omitempty"`
+}
+
+// TraceInfo is one captured trace collector's volume and drop counts.
+type TraceInfo struct {
+	Label      string `json:"label"`
+	Events     int    `json:"events"`
+	EventDrops int64  `json:"event_drops"`
+	Spans      int    `json:"spans"`
+	OpenSpans  int    `json:"open_spans"`
+	SpanDrops  int64  `json:"span_drops"`
+}
+
+// HarnessCat is one wall-clock harness span category's aggregate.
+type HarnessCat struct {
+	Cat     string `json:"cat"`
+	Count   int    `json:"count"`
+	TotalMS int64  `json:"total_ms"`
 }
 
 // ExperimentInfo is one experiment's outcome in the manifest.
@@ -67,6 +91,19 @@ func (m *Manifest) WriteSummary(w io.Writer) {
 			how = "FAILED: " + e.Err
 		}
 		fmt.Fprintf(w, "  %-11s %8d ms  %8d B  %s\n", e.ID, e.ElapsedMS, e.Bytes, how)
+	}
+	if len(m.Traces) > 0 {
+		fmt.Fprintln(w, "traces:")
+		for _, t := range m.Traces {
+			fmt.Fprintf(w, "  %-16s %6d spans (%d dropped, %d open)  %6d events (%d dropped)\n",
+				t.Label, t.Spans, t.SpanDrops, t.OpenSpans, t.Events, t.EventDrops)
+		}
+	}
+	if len(m.Harness) > 0 {
+		fmt.Fprintln(w, "harness spans:")
+		for _, h := range m.Harness {
+			fmt.Fprintf(w, "  %-16s %6d spans, %d ms total\n", h.Cat, h.Count, h.TotalMS)
+		}
 	}
 	fmt.Fprintln(w, "counters:")
 	for _, mm := range m.Metrics {

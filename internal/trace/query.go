@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"sort"
+
+	"hswsim/internal/sim"
+)
+
+// Query is a filter/aggregation view over a set of completed spans —
+// the assertion surface for trace-based tests: pick the spans of one
+// kind on one core inside one interval, then check their durations or
+// their ordering against the paper's numbers.
+//
+// Queries are immutable values; every filter returns a narrowed copy,
+// so they chain: q.Kind(SpanWake).Socket(1).During(a, b).Durations().
+type Query struct {
+	spans []Span
+}
+
+// NewQuery builds a query over the given spans, time-sorted by
+// (Start, End) so ordered-sequence matching is well defined.
+func NewQuery(spans []Span) Query {
+	s := append([]Span(nil), spans...)
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Start != s[j].Start {
+			return s[i].Start < s[j].Start
+		}
+		return s[i].End < s[j].End
+	})
+	return Query{spans: s}
+}
+
+// filter returns the subset for which keep is true.
+func (q Query) filter(keep func(Span) bool) Query {
+	var out []Span
+	for _, s := range q.spans {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return Query{spans: out}
+}
+
+// Kind narrows to spans of one kind.
+func (q Query) Kind(k SpanKind) Query {
+	return q.filter(func(s Span) bool { return s.Kind == k })
+}
+
+// Socket narrows to spans of one socket.
+func (q Query) Socket(socket int) Query {
+	return q.filter(func(s Span) bool { return s.Socket == socket })
+}
+
+// CPU narrows to spans of one CPU.
+func (q Query) CPU(cpu int) Query {
+	return q.filter(func(s Span) bool { return s.CPU == cpu })
+}
+
+// Label narrows to spans with the exact label.
+func (q Query) Label(label string) Query {
+	return q.filter(func(s Span) bool { return s.Label == label })
+}
+
+// During narrows to spans overlapping the interval [a, b].
+func (q Query) During(a, b sim.Time) Query {
+	return q.filter(func(s Span) bool { return s.End >= a && s.Start <= b })
+}
+
+// Within narrows to spans fully contained in the interval [a, b].
+func (q Query) Within(a, b sim.Time) Query {
+	return q.filter(func(s Span) bool { return s.Start >= a && s.End <= b })
+}
+
+// Spans returns the (time-sorted) matching spans.
+func (q Query) Spans() []Span { return q.spans }
+
+// Count returns the number of matching spans.
+func (q Query) Count() int { return len(q.spans) }
+
+// Durations returns the matching spans' durations, in time order.
+func (q Query) Durations() []sim.Time {
+	out := make([]sim.Time, len(q.spans))
+	for i, s := range q.spans {
+		out[i] = s.Duration()
+	}
+	return out
+}
+
+// MinDuration returns the shortest duration (0 when empty).
+func (q Query) MinDuration() sim.Time {
+	var min sim.Time
+	for i, s := range q.spans {
+		if d := s.Duration(); i == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDuration returns the longest duration (0 when empty).
+func (q Query) MaxDuration() sim.Time {
+	var max sim.Time
+	for _, s := range q.spans {
+		if d := s.Duration(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalDuration returns the sum of all durations.
+func (q Query) TotalDuration() sim.Time {
+	var total sim.Time
+	for _, s := range q.spans {
+		total += s.Duration()
+	}
+	return total
+}
+
+// MeanDuration returns the average duration (0 when empty).
+func (q Query) MeanDuration() sim.Time {
+	if len(q.spans) == 0 {
+		return 0
+	}
+	return q.TotalDuration() / sim.Time(len(q.spans))
+}
+
+// Sequence finds ordered runs of consecutive spans (in time order)
+// whose kinds match the given pattern, and returns one []Span per
+// match. Matches do not overlap: after a match the scan resumes past
+// its last span. Use on a narrowed query (e.g. one CPU) to assert
+// event ordering — request precedes grant precedes completion.
+func (q Query) Sequence(kinds ...SpanKind) [][]Span {
+	if len(kinds) == 0 {
+		return nil
+	}
+	var out [][]Span
+	for i := 0; i+len(kinds) <= len(q.spans); {
+		ok := true
+		for j, k := range kinds {
+			if q.spans[i+j].Kind != k {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			i++
+			continue
+		}
+		out = append(out, append([]Span(nil), q.spans[i:i+len(kinds)]...))
+		i += len(kinds)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"hswsim/internal/sim"
+)
+
+// querySpans is a small fixed scene: two wakes on cpu0, one on cpu1 of
+// socket 1, an AVX window, and a labelled uncore episode.
+func querySpans() []Span {
+	return []Span{
+		{Kind: SpanUncore, Socket: 0, CPU: -1, Start: 0, End: 1000, Label: "2500 MHz"},
+		{Kind: SpanWake, Socket: 0, CPU: 0, Start: 100, End: 160, Label: "C6"},
+		{Kind: SpanWake, Socket: 0, CPU: 0, Start: 400, End: 440, Label: "C3"},
+		{Kind: SpanWake, Socket: 1, CPU: 1, Start: 500, End: 580, Label: "C6"},
+		{Kind: SpanAVX, Socket: 0, CPU: 0, Start: 600, End: 900, Label: "avx"},
+	}
+}
+
+func TestQuerySortsByTime(t *testing.T) {
+	// Feed spans in reverse; the query must come back (Start, End)-sorted.
+	in := querySpans()
+	rev := make([]Span, len(in))
+	for i, s := range in {
+		rev[len(in)-1-i] = s
+	}
+	q := NewQuery(rev)
+	got := q.Spans()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Start > got[i].Start {
+			t.Fatalf("not time-sorted: %v", got)
+		}
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	q := NewQuery(querySpans())
+	if n := q.Kind(SpanWake).Count(); n != 3 {
+		t.Fatalf("Kind(wake) = %d", n)
+	}
+	if n := q.Kind(SpanWake).Socket(0).Count(); n != 2 {
+		t.Fatalf("wake on socket 0 = %d", n)
+	}
+	if n := q.CPU(0).Count(); n != 3 {
+		t.Fatalf("cpu0 = %d", n)
+	}
+	if n := q.Label("C6").Count(); n != 2 {
+		t.Fatalf("label C6 = %d", n)
+	}
+	// During overlaps; Within requires containment.
+	if n := q.Kind(SpanWake).During(150, 450).Count(); n != 2 {
+		t.Fatalf("During = %d", n)
+	}
+	if n := q.Kind(SpanWake).Within(150, 450).Count(); n != 1 {
+		t.Fatalf("Within = %d", n)
+	}
+}
+
+func TestQueryDurations(t *testing.T) {
+	q := NewQuery(querySpans()).Kind(SpanWake)
+	want := []sim.Time{60, 40, 80}
+	if got := q.Durations(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Durations = %v, want %v", got, want)
+	}
+	if q.MinDuration() != 40 || q.MaxDuration() != 80 {
+		t.Fatalf("min/max = %v/%v", q.MinDuration(), q.MaxDuration())
+	}
+	if q.TotalDuration() != 180 || q.MeanDuration() != 60 {
+		t.Fatalf("total/mean = %v/%v", q.TotalDuration(), q.MeanDuration())
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	q := NewQuery(nil)
+	if q.Count() != 0 || q.MinDuration() != 0 || q.MaxDuration() != 0 ||
+		q.TotalDuration() != 0 || q.MeanDuration() != 0 {
+		t.Fatal("empty query should aggregate to zero")
+	}
+	if got := q.Kind(SpanWake).Spans(); len(got) != 0 {
+		t.Fatalf("empty filter = %v", got)
+	}
+}
+
+func TestQuerySequence(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanPState, Start: 0, End: 10},
+		{Kind: SpanPStateSwitch, Start: 10, End: 20},
+		{Kind: SpanWake, Start: 25, End: 30},
+		{Kind: SpanPState, Start: 40, End: 50},
+		{Kind: SpanPStateSwitch, Start: 50, End: 60},
+	}
+	q := NewQuery(spans)
+	runs := q.Sequence(SpanPState, SpanPStateSwitch)
+	if len(runs) != 2 {
+		t.Fatalf("Sequence matches = %d, want 2", len(runs))
+	}
+	if runs[0][0].Start != 0 || runs[1][0].Start != 40 {
+		t.Fatalf("runs = %v", runs)
+	}
+	// Matches must not overlap: a 1-kind pattern consumes one span each.
+	if got := q.Sequence(SpanPState); len(got) != 2 {
+		t.Fatalf("single-kind sequence = %d", len(got))
+	}
+	if got := q.Sequence(); got != nil {
+		t.Fatalf("empty pattern = %v", got)
+	}
+	if got := q.Sequence(SpanGovernor); got != nil {
+		t.Fatalf("unmatched pattern = %v", got)
+	}
+}

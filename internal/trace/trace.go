@@ -78,6 +78,11 @@ type Buffer struct {
 	next   int
 	full   bool
 	cap    int
+	// drops counts events whose recording overwrote an older event —
+	// the ring is full and the oldest entry was lost. A truncated trace
+	// is legitimate (the ring is bounded by design) but must be
+	// visible, so consumers can size the buffer or narrow the Filter.
+	drops uint64
 	// Filter, when non-nil, drops events for which it returns false.
 	Filter func(Event) bool
 }
@@ -110,12 +115,32 @@ func (b *Buffer) Emit(e Event) {
 	if b.Filter != nil && !b.Filter(e) {
 		return
 	}
+	if b.full {
+		b.drops++
+	}
 	b.events[b.next] = e
 	b.next++
 	if b.next == b.cap {
 		b.next = 0
 		b.full = true
 	}
+}
+
+// Drops returns how many events were overwritten because the ring was
+// full (zero on a nil buffer).
+func (b *Buffer) Drops() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.drops
+}
+
+// Cap returns the ring capacity.
+func (b *Buffer) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return b.cap
 }
 
 // Emitf formats and records an event.

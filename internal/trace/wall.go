@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WallSpan is one wall-clock harness episode (an experiment, a sweep
+// point, a scheduler-slot occupancy). Times are offsets from the
+// collector's creation, so the recording carries no absolute clock.
+type WallSpan struct {
+	Cat   string // "experiment", "point", "slot", ...
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// WallCollector records wall-clock harness spans. Unlike the
+// virtual-time Collector it is written from many goroutines (the suite
+// scheduler, parallelMap helpers), so it locks — acceptable because
+// harness spans are per experiment or per sweep point, never per event.
+// Wall durations are inherently nondeterministic; the collector exists
+// for the out-of-band run report, never for experiment output.
+// A nil *WallCollector is a valid no-op recorder.
+type WallCollector struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []WallSpan
+	cap   int
+	drops uint64
+}
+
+// NewWallCollector creates a collector holding up to capacity spans.
+func NewWallCollector(capacity int) *WallCollector {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &WallCollector{start: time.Now(), cap: capacity}
+}
+
+// Begin opens a harness span and returns the closure that completes
+// it. On a nil collector it returns nil — callers guard the end call.
+func (c *WallCollector) Begin(cat, name string) func() {
+	if c == nil {
+		return nil
+	}
+	start := time.Since(c.start)
+	return func() {
+		end := time.Since(c.start)
+		c.mu.Lock()
+		if len(c.spans) < c.cap {
+			c.spans = append(c.spans, WallSpan{Cat: cat, Name: name, Start: start, End: end})
+		} else {
+			c.drops++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (c *WallCollector) Spans() []WallSpan {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]WallSpan(nil), c.spans...)
+}
+
+// Drops returns how many spans were discarded at capacity.
+func (c *WallCollector) Drops() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops
+}
+
+// WallCat is one category's aggregate in a harness-span summary.
+type WallCat struct {
+	Cat   string
+	Count int
+	Total time.Duration
+}
+
+// Summary aggregates the recorded spans per category, sorted by
+// category name — the digest the run manifest embeds (individual wall
+// spans are too noisy and too nondeterministic to report).
+func (c *WallCollector) Summary() []WallCat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	byCat := map[string]*WallCat{}
+	for _, s := range c.spans {
+		wc, ok := byCat[s.Cat]
+		if !ok {
+			wc = &WallCat{Cat: s.Cat}
+			byCat[s.Cat] = wc
+		}
+		wc.Count++
+		wc.Total += s.End - s.Start
+	}
+	c.mu.Unlock()
+	out := make([]WallCat, 0, len(byCat))
+	for _, wc := range byCat {
+		out = append(out, *wc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cat < out[j].Cat })
+	return out
+}

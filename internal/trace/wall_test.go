@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWallCollectorNil(t *testing.T) {
+	var c *WallCollector
+	if c.Begin("cat", "name") != nil {
+		t.Fatal("nil collector Begin should return nil")
+	}
+	if c.Spans() != nil || c.Drops() != 0 || c.Summary() != nil {
+		t.Fatal("nil collector should be empty")
+	}
+}
+
+func TestWallCollectorRecords(t *testing.T) {
+	c := NewWallCollector(8)
+	end := c.Begin("experiment", "fig1")
+	end()
+	c.Begin("point", "")()
+	c.Begin("point", "")()
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Cat != "experiment" || spans[0].Name != "fig1" {
+		t.Fatalf("first span = %v", spans[0])
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span runs backwards: %v", s)
+		}
+	}
+	sum := c.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+	// Sorted by category name: "experiment" < "point".
+	if sum[0].Cat != "experiment" || sum[0].Count != 1 ||
+		sum[1].Cat != "point" || sum[1].Count != 2 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestWallCollectorDropsAtCapacity(t *testing.T) {
+	c := NewWallCollector(2)
+	for i := 0; i < 5; i++ {
+		c.Begin("x", "")()
+	}
+	if len(c.Spans()) != 2 || c.Drops() != 3 {
+		t.Fatalf("spans=%d drops=%d, want 2/3", len(c.Spans()), c.Drops())
+	}
+}
+
+func TestWallCollectorConcurrent(t *testing.T) {
+	// Written from many goroutines (suite scheduler, parallelMap
+	// helpers); must be race-free under -race.
+	c := NewWallCollector(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Begin("slot", "helper")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.Spans()); got != 400 {
+		t.Fatalf("spans = %d, want 400", got)
+	}
+	if c.Summary()[0].Count != 400 {
+		t.Fatalf("summary = %v", c.Summary())
+	}
+}

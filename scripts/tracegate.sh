@@ -1,0 +1,20 @@
+#!/bin/sh
+# tracegate.sh — fail CI when a non-test Go file outside internal/trace
+# constructs a raw event ring (`trace.New(`) or holds a `*trace.Buffer`
+# directly. Span-producing subsystems must record through the
+# trace.Collector (System.EnableTrace): the collector is what pairs
+# begin/end episodes, counts ring overwrites, and clones bitwise across
+# System.Fork — a raw Buffer bypasses all three. Matched lines carrying
+# a `//tracegate:ok` marker are exempt (say why).
+set -eu
+cd "$(dirname "$0")/.."
+
+found=$(grep -rn --include='*.go' -E 'trace\.New\(|\*trace\.Buffer' \
+	--exclude='*_test.go' . | grep -v '^\./internal/trace/' | grep -v 'tracegate:ok' || true)
+
+if [ -n "$found" ]; then
+	echo "tracegate: raw trace.Buffer use outside internal/trace (record via trace.Collector):" >&2
+	echo "$found" >&2
+	exit 1
+fi
+echo "tracegate: no raw trace.Buffer use outside internal/trace"
