@@ -94,6 +94,23 @@ func BenchmarkSystemForkedSweepPoint(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemForkRelease measures the steady-state fork cost when
+// children are returned to the free list after each sweep point — the
+// pooled path, which reuses the released child's engine, socket/core
+// slabs and MSR device instead of allocating fresh ones.
+func BenchmarkSystemForkRelease(b *testing.B) {
+	sys := benchSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := sys.Fork()
+		if err != nil {
+			b.Fatal(err)
+		}
+		child.Release()
+	}
+}
+
 // BenchmarkSystemPStateChurn measures integration with frequent
 // operating-point changes (governor-style p-state flapping): the
 // worst case for change-driven integration, guarding against fast-path

@@ -18,8 +18,11 @@ type Core struct {
 	Index int
 	CPU   int
 
-	reg *fivr.Regulator
-	dom *pstate.Domain
+	// reg and dom are embedded by value: forking a core is a struct
+	// copy. The regulator is a pure value; the domain's transition ring
+	// is copy-on-write behind a fork-generation stamp.
+	reg fivr.Regulator
+	dom pstate.Domain
 	ctr perfctr.Core
 
 	cstateNow cstate.State
@@ -54,12 +57,10 @@ type Core struct {
 	spanGrantAt sim.Time
 	spanFrom    uarch.MHz
 
-	// completeFn is the persistent transition-completion event (one
-	// method value per core instead of one closure per transition; stale
-	// firings no-op inside Domain.Complete).
-	completeFn sim.Event
 	// completeEv identifies the pending completion event (if any) so
-	// Fork can re-arm an in-flight transition on the child engine.
+	// Fork can re-arm an in-flight transition on the child engine; the
+	// callback is the System's closure-free HandleEvent dispatch (arg =
+	// CPU), and stale firings no-op inside Domain.Complete.
 	completeEv sim.EventID
 
 	// resid accumulates p-state/c-state residency (cpufreq-stats view).
@@ -78,8 +79,8 @@ func newCore(sk *Socket, index int, voltOffset float64) *Core {
 		sk:        sk,
 		Index:     index,
 		CPU:       sk.Index*spec.Cores + index,
-		reg:       fivr.NewRegulator(&spec.Power, voltOffset, spec.PStateSwitchUS, sk.rng.Fork(uint64(index)+0xC0)),
-		dom:       pstate.NewDomain(spec),
+		reg:       *fivr.NewRegulator(&spec.Power, voltOffset, spec.PStateSwitchUS, sk.rng.Fork(uint64(index)+0xC0)),
+		dom:       *pstate.NewDomain(spec),
 		cstateNow: sk.sys.cfg.IdleState,
 		threads:   1,
 		epbBits:   uint64(6), // balanced
@@ -87,12 +88,11 @@ func newCore(sk *Socket, index int, voltOffset float64) *Core {
 	if c.cstateNow == cstate.C0 {
 		c.cstateNow = cstate.C6
 	}
-	c.completeFn = c.onComplete
 	return c
 }
 
-// onComplete is the transition-completion event body (bound as the
-// persistent completeFn method value).
+// onComplete is the transition-completion event body (dispatched from
+// System.HandleEvent with arg = CPU).
 func (c *Core) onComplete(t sim.Time) {
 	c.sk.sys.integrateTo(t)
 	if c.dom.Complete(t) {
@@ -234,7 +234,7 @@ func (c *Core) applyGrantTagged(now sim.Time, target uarch.MHz, requestedAt sim.
 				"%v -> %v (switch %v)", c.dom.Granted(), target, switchTime)
 			c.spanReqAt, c.spanGrantAt, c.spanFrom = requestedAt, now, c.dom.Granted()
 		}
-		c.completeEv = c.sk.sys.Engine.At(now+switchTime, c.completeFn)
+		c.completeEv = c.sk.sys.Engine.AtHandler(now+switchTime, c.sk.sys, c.CPU)
 	}
 }
 
@@ -245,7 +245,7 @@ func (c *Core) FreqMHz() uarch.MHz { return c.dom.Granted() }
 func (c *Core) CState() cstate.State { return c.cstateNow }
 
 // Domain exposes the p-state domain (transition log for tools).
-func (c *Core) Domain() *pstate.Domain { return c.dom }
+func (c *Core) Domain() *pstate.Domain { return &c.dom }
 
 // Snapshot captures the core's performance counters.
 func (c *Core) Snapshot() perfctr.Snapshot {

@@ -2,9 +2,64 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
+	"unsafe"
 
-	"hswsim/internal/msr"
+	"hswsim/internal/cow"
+	"hswsim/internal/obs"
+	"hswsim/internal/power"
+	"hswsim/internal/sim"
 )
+
+// forkPool is the tree-wide free list of released fork children. One
+// pool is created per root system and shared (by pointer) with every
+// fork, so any released child's storage — engine, socket/core slabs,
+// MSR device — can be recycled by the next Fork anywhere in the tree.
+//
+// A plain mutex-guarded slice rather than a sync.Pool: reuse must be
+// deterministic (tests assert a released child is reused, and the GC
+// must not silently drop warm storage between sweep points).
+type forkPool struct {
+	mu   sync.Mutex
+	free []*System
+}
+
+// forkPoolMax bounds the free list; children released beyond it are
+// left to the GC.
+const forkPoolMax = 256
+
+func (p *forkPool) get() *System {
+	p.mu.Lock()
+	var c *System
+	if n := len(p.free); n > 0 {
+		c = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	return c
+}
+
+func (p *forkPool) put(c *System) {
+	p.mu.Lock()
+	if len(p.free) < forkPoolMax {
+		p.free = append(p.free, c)
+	}
+	p.mu.Unlock()
+}
+
+// Release returns a forked system's storage to the tree's child free
+// list so a subsequent Fork can recycle it instead of allocating. Only
+// fork children are poolable; calling Release on a root system is a
+// no-op. The caller must not touch the system afterwards — the next
+// Fork may overwrite it wholesale.
+func (s *System) Release() {
+	if s.releaseTo == nil {
+		return
+	}
+	s.releaseTo.put(s)
+}
 
 // Fork produces an independent copy of the platform whose future
 // evolution is bitwise-identical to continuing the original: same
@@ -13,12 +68,18 @@ import (
 // operations applied to each — the foundation for running sweep points
 // concurrently from one warmed-up platform.
 //
-// Mechanically, every stateful component is cloned (immutable parts —
-// spec, topology, cache model, kernels — are shared), and the pending
-// platform timers (per-socket PCU grid tick, meter sample, in-flight
-// p-state completions) are re-created declaratively on a fresh engine
-// with their original (time, sequence) coordinates rather than copied
-// as closures, so their callbacks bind the child's component graph.
+// Mechanically, a fork is one cow.Bump plus struct copies: every
+// component is embedded by value in its socket/core shell, and every
+// internal slice or map (p-state transition rings, trace rings, meter
+// samples, residency bins, PCU bookkeeping, the MSR register file) is
+// stamped with a fork generation and copied lazily by the first write
+// on either side. The pending platform timers (per-socket PCU grid
+// tick, meter sample, in-flight p-state completions) are re-created
+// declaratively on the child engine with their original (time,
+// sequence) coordinates through the closure-free Handler path, so
+// re-arming allocates nothing. Released children (see Release) are
+// recycled from the tree's free list, making steady-state fork/Release
+// cycles allocation-free.
 //
 // Fork requires a quiescent platform: no events other than the
 // platform's own timers may be pending (experiment-level Every
@@ -27,9 +88,11 @@ import (
 // pending returns an error.
 //
 // On an integrated parent (which any quiescent system is — every Run /
-// RunUntil ends with an integrateTo) Fork is read-only, so many
-// goroutines may fork the same parent concurrently.
+// RunUntil ends with an integrateTo) Fork leaves the parent read-only
+// except for the lock-protected child free list, so many goroutines may
+// fork the same parent concurrently.
 func (s *System) Fork() (*System, error) {
+	start := time.Now()
 	if s.lastIntegrate != s.Engine.Now() {
 		// Catch-up path: mutates the parent, so it is only safe
 		// single-threaded. Quiescent systems never take it.
@@ -58,17 +121,58 @@ func (s *System) Fork() (*System, error) {
 			pending-expected)
 	}
 
-	n := &System{
-		Engine:        s.Engine.Fork(),
+	// Acquire child storage: a recycled released child, or fresh slabs.
+	// Pool membership guarantees shape — the pool is only reachable from
+	// forks of this root, so a pooled child always has this root's
+	// socket/core geometry and layout.
+	n := s.pool.get()
+	reused := n != nil
+	var eng *sim.Engine
+	if reused {
+		eng = n.Engine
+		eng.ResetToFork(s.Engine)
+	} else {
+		eng = s.Engine.Fork()
+		n = &System{}
+		sockets := make([]*Socket, len(s.sockets))
+		slab := make([]Socket, len(s.sockets))
+		for i := range slab {
+			sockets[i] = &slab[i]
+			coreSlab := make([]Core, len(s.sockets[i].cores))
+			cores := make([]*Core, len(coreSlab))
+			for j := range coreSlab {
+				cores[j] = &coreSlab[j]
+			}
+			sockets[i].cores = cores
+		}
+		n.sockets = sockets
+		n.msrDev = s.msrDev.Fork(n)
+	}
+	sockets := n.sockets
+	device := n.msrDev
+
+	// One generation bump freezes every copy-on-write backing shared
+	// below; individual Clone calls bump again, which is harmless.
+	cow.Bump()
+
+	*n = System{
+		Engine:        eng,
 		cfg:           s.cfg,
-		msrDev:        msr.NewDevice(),
-		meter:         s.meter.Clone(),
-		rng:           s.rng.Clone(),
+		sockets:       sockets,
+		mlay:          s.mlay,
+		msrDev:        device,
+		meter:         s.meter, // sample history COW (stale after the Bump)
+		rng:           s.rng,
 		lastIntegrate: s.lastIntegrate,
 		acJoules:      s.acJoules,
 		lastACPower:   s.lastACPower,
 		epb:           s.epb,
+		pool:          s.pool,
+		releaseTo:     s.pool,
 		trace:         s.trace.Clone(),
+	}
+	if reused {
+		s.msrDev.ForkInto(device, n)
 	}
 	// The cloned collector carries the parent's cumulative counters;
 	// baseline the child's flush marks there so the child reports only
@@ -77,108 +181,77 @@ func (s *System) Fork() (*System, error) {
 	n.traceSpansFlushed = n.trace.SpansRecorded()
 	n.traceSpanDropsFlushed = n.trace.SpanDrops()
 	n.traceEventDropsFlushed = n.trace.EventDrops()
-	for _, sk := range s.sockets {
-		n.sockets = append(n.sockets, sk.fork(n))
+
+	for i, sk := range s.sockets {
+		sk.forkInto(n.sockets[i], n)
 	}
-	n.wireMSRs()
-	n.copyMSRState(s)
 
 	// Re-arm the platform timers on the child engine at their parent
-	// (time, sequence) coordinates.
+	// (time, sequence) coordinates; arg-encoded Handler events, so no
+	// closures are built.
+	ncpu := s.CPUs()
 	for i, sk := range s.sockets {
 		nsk := n.sockets[i]
-		nsk.tickEv = n.Engine.Rearm(sk.tickEv, nsk.tickFn)
+		nsk.tickEv = n.Engine.RearmHandler(sk.tickEv, n, ncpu+sk.Index)
 		for j, c := range sk.cores {
 			if s.Engine.IsPending(c.completeEv) {
-				nc := nsk.cores[j]
-				nc.completeEv = n.Engine.Rearm(c.completeEv, nc.completeFn)
+				nsk.cores[j].completeEv = n.Engine.RearmHandler(c.completeEv, n, c.CPU)
 			}
 		}
 	}
-	n.meterEv = n.Engine.Rearm(s.meterEv, n.meterTick)
+	n.meterEv = n.Engine.RearmHandler(s.meterEv, n, ncpu+len(s.sockets))
+
+	if reused {
+		obs.CoreForkReuse.Inc()
+	}
+	obs.CoreForkBytes.Add(s.forkCopiedBytes())
+	obs.CoreForkWall.Observe(time.Since(start).Nanoseconds())
 	return n, nil
 }
 
-// fork clones one socket onto the child system. Immutable structure
-// (spec, topology, cache/IMC model) is shared; everything mutable is
-// cloned. The child starts with the integration memo invalidated —
-// its first segment runs the full path, which the replay contract
-// guarantees is bit-for-bit identical to replaying the dropped memo.
-func (sk *Socket) fork(sys *System) *Socket {
-	n := &Socket{
-		sys:   sys,
-		Index: sk.Index,
-		Spec:  sk.Spec,
-		Topo:  sk.Topo,
-		Cache: sk.Cache,
-		Power: sk.Power.Clone(),
-		RAPL:  sk.RAPL.Clone(),
-		PCU:   sk.PCU.Clone(),
-
-		uncoreReg: sk.uncoreReg.Clone(),
-		uncoreMHz: sk.uncoreMHz,
-		uncoreCtr: sk.uncoreCtr,
-		mbvr:      sk.mbvr.Clone(),
-
-		pkgCState:     sk.pkgCState,
-		prevDeepState: sk.prevDeepState,
-		leftDeepAt:    sk.leftDeepAt,
-
-		pcuPhase:    sk.pcuPhase,
-		rng:         sk.rng.Clone(),
-		tickJoules:  sk.tickJoules,
-		lastTick:    sk.lastTick,
-		lastPkgPowW: sk.lastPkgPowW,
-		dramGBs:     sk.dramGBs,
-
-		opDirty: true,
+// forkCopiedBytes estimates the bytes a fork copies eagerly: the
+// struct shells (System, sockets, cores) plus the MSR register file
+// share. Copy-on-write backings are excluded — they are charged to
+// whichever side writes first.
+func (s *System) forkCopiedBytes() int64 {
+	b := int64(unsafe.Sizeof(System{}))
+	for _, sk := range s.sockets {
+		b += int64(unsafe.Sizeof(Socket{}))
+		b += int64(len(sk.cores)) * int64(unsafe.Sizeof(Core{}))
 	}
-	n.tickFn = n.gridTick
-	for _, c := range sk.cores {
-		n.cores = append(n.cores, c.fork(n))
-	}
-	return n
+	b += int64(s.msrDev.FileWords()) * 8
+	return b
 }
 
-// fork clones one core onto the child socket. The kernel is shared
-// (kernels are pure profile functions); regulator, p-state domain,
-// counters and residency are cloned.
-func (c *Core) fork(sk *Socket) *Core {
-	n := &Core{
-		sk:    sk,
-		Index: c.Index,
-		CPU:   c.CPU,
+// forkInto clones this socket onto child-system storage with a struct
+// copy plus fixups. Immutable structure (spec, topology, cache/IMC
+// model) is shared by pointer; slice-backed component state rides the
+// copy as stale copy-on-write shares. The child starts with the
+// integration memo invalidated — its first segment runs the full path,
+// which the replay contract guarantees is bit-for-bit identical to
+// replaying the dropped memo.
+func (sk *Socket) forkInto(nk *Socket, sys *System) {
+	cores := nk.cores // preserve the child's own core storage
+	*nk = *sk
+	nk.sys = sys
+	nk.cores = cores
+	// Events belong to the parent engine; Fork re-arms them explicitly.
+	nk.tickEv = sim.EventID{}
+	// Scratch and memo state is private, not COW: drop it rather than
+	// share backing slices with the parent.
+	nk.opDirty = true
+	nk.segValid = false
+	nk.memo = power.ComputeMemo{}
+	nk.Power.ResetScratch()
+	nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores = nil, nil, nil, nil, nil
+	// Forked sockets count their own integration segments from zero.
+	nk.statReplay, nk.statFull = 0, 0
+	nk.statReplayFlushed, nk.statFullFlushed = 0, 0
 
-		reg: c.reg.Clone(),
-		dom: c.dom.Clone(),
-		ctr: c.ctr,
-
-		cstateNow: c.cstateNow,
-		kernel:    c.kernel,
-		kernStart: c.kernStart,
-		threads:   c.threads,
-
-		epbBits: c.epbBits,
-
-		avxMode:      c.avxMode,
-		avxSlowUntil: c.avxSlowUntil,
-
-		lastStall: c.lastStall,
-		lastRate:  c.lastRate,
-		lastSD:    c.lastSD,
-
-		lastRequestAt: c.lastRequestAt,
-
-		spanReqAt:   c.spanReqAt,
-		spanGrantAt: c.spanGrantAt,
-		spanFrom:    c.spanFrom,
-
-		resid: c.resid.clone(),
-
-		profCacheAt:  c.profCacheAt,
-		profCacheOK:  c.profCacheOK,
-		profCacheVal: c.profCacheVal,
+	for j, c := range sk.cores {
+		nc := cores[j]
+		*nc = *c
+		nc.sk = nk
+		nc.completeEv = sim.EventID{}
 	}
-	n.completeFn = n.onComplete
-	return n
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 
 	"hswsim/internal/sim"
@@ -252,6 +254,140 @@ func TestForkConcurrentSameResult(t *testing.T) {
 		}
 		if i > 0 && !reflect.DeepEqual(fps[0], fps[i]) {
 			t.Errorf("concurrent fork %d diverged from fork 0", i)
+		}
+	}
+}
+
+func TestForkGrandchildBitwise(t *testing.T) {
+	sys := forkScenario(t, func(s *System) {
+		for cpu := 0; cpu < s.CPUs(); cpu += 3 {
+			if err := s.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RequestTurbo()
+		s.Run(60 * sim.Millisecond)
+	})
+	child, err := sys.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	child.Run(80 * sim.Millisecond)
+	grand, err := child.Fork()
+	if err != nil {
+		t.Fatalf("grandchild Fork: %v", err)
+	}
+	child.Run(150 * sim.Millisecond)
+	grand.Run(150 * sim.Millisecond)
+	a, b := fingerprint(t, child), fingerprint(t, grand)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("grandchild diverged from its parent fork:\nchild: %+v\ngrand: %+v", a, b)
+	}
+}
+
+func TestForkReleaseReuse(t *testing.T) {
+	warm := func(s *System) {
+		if err := s.AssignKernel(0, workload.Firestarter(), 2); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(40 * sim.Millisecond)
+	}
+	sys := forkScenario(t, warm)
+
+	// Reference: a never-released child.
+	ref, err := sys.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	ref.Run(120 * sim.Millisecond)
+	want := fingerprint(t, ref)
+
+	// Release a child, then fork again: the free list is deterministic
+	// (mutex-guarded slice, not sync.Pool), so the released storage MUST
+	// come back — and the recycled child must evolve identically.
+	c1, err := sys.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	c1.Release()
+	c2, err := sys.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if c2 != c1 {
+		t.Fatal("fork after Release did not reuse the released child's storage")
+	}
+	c2.Run(120 * sim.Millisecond)
+	if got := fingerprint(t, c2); !reflect.DeepEqual(got, want) {
+		t.Errorf("reused child diverged from a fresh child:\nreused: %+v\nfresh:  %+v", got, want)
+	}
+
+	// Release on a root system is a no-op: roots are not poolable.
+	c2.Release()
+	sys.Release()
+	if got := len(sys.pool.free); got != 1 {
+		t.Fatalf("pool holds %d systems after root Release, want 1 (the child only)", got)
+	}
+}
+
+func TestForkReleaseConcurrentStress(t *testing.T) {
+	sys := forkScenario(t, func(s *System) {
+		for cpu := 0; cpu < s.CPUs(); cpu += 4 {
+			if err := s.AssignKernel(cpu, workload.MemStream(), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run(30 * sim.Millisecond)
+	})
+	// Exact-bits digest of the observable state, cheap enough to compute
+	// once per iteration.
+	digest := func(s *System) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%x", math.Float64bits(s.ACPowerW()))
+		for i := 0; i < s.Sockets(); i++ {
+			sk := s.Socket(i)
+			fmt.Fprintf(&b, ":%x:%x",
+				math.Float64bits(sk.RAPL.Pkg.EnergyJoules()),
+				math.Float64bits(sk.Power.TempC()))
+		}
+		for cpu := 0; cpu < s.CPUs(); cpu++ {
+			sn := s.Core(cpu).Snapshot()
+			fmt.Fprintf(&b, ":%d:%d:%d", sn.TSC, sn.APERF, sn.MPERF)
+		}
+		fmt.Fprintf(&b, ":%d", s.Trace().SpansRecorded())
+		return b.String()
+	}
+	ref, err := sys.Fork()
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	ref.Run(5 * sim.Millisecond)
+	want := digest(ref)
+
+	const workers = 8
+	const iters = 6
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < iters; i++ {
+				child, err := sys.Fork()
+				if err != nil {
+					errc <- err
+					return
+				}
+				child.Run(5 * sim.Millisecond)
+				if got := digest(child); got != want {
+					errc <- fmt.Errorf("iteration %d: child diverged:\ngot  %s\nwant %s", i, got, want)
+					return
+				}
+				child.Release()
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -2,88 +2,125 @@ package core
 
 import (
 	"hswsim/internal/msr"
+	"hswsim/internal/perfctr"
 	"hswsim/internal/trace"
 	"hswsim/internal/uarch"
 )
 
-// wireMSRs installs the platform's model-specific registers: the
-// software-visible control/observation surface the paper's tools use.
-func (s *System) wireMSRs() {
-	spec := s.cfg.Spec
-	dev := s.msrDev
-	ncpu := s.CPUs()
+// msrLayout is the immutable half of the platform's MSR surface: the
+// shared msr.Layout (register map + handlers) plus the register-file
+// slot bases where the mutable words live. One layout is built per root
+// system and shared by reference with every fork; handlers reach the
+// owning system through the issuing device's Owner() indirection, so no
+// handler closes over a particular *System and forking the device is a
+// three-word copy plus a copy-on-write share of the register file.
+type msrLayout struct {
+	lay *msr.Layout
 
-	// IA32_ENERGY_PERF_BIAS: per-CPU, writable; feeds the PCU. The
-	// backing storage lives on the System (not in closure locals) so
-	// Fork can copy register state without replaying write side effects.
-	epb := msr.NewPerCPU(msr.IA32_ENERGY_PERF_BIAS, ncpu, false)
-	for i := range epb.Vals {
-		epb.Vals[i] = 6 // balanced
+	// Register-file slot bases (see msr.Layout.Words).
+	epbBase      int // ncpu words: IA32_ENERGY_PERF_BIAS
+	perfctlBase  int // ncpu words: IA32_PERF_CTL
+	pkgLimitBase int // nsock words: MSR_PKG_POWER_LIMIT
+	uncLimitBase int // nsock words: MSR_UNCORE_RATIO_LIMIT
+}
+
+// buildMSRLayout wires the platform's model-specific registers — the
+// software-visible control/observation surface the paper's tools use —
+// into a shared layout. The closures may capture the configuration
+// (spec, counts, slot bases), never a particular system.
+func buildMSRLayout(spec *uarch.Spec, ncpu, nsock int) *msrLayout {
+	lay := msr.NewLayout()
+	ml := &msrLayout{
+		lay:          lay,
+		epbBase:      lay.Words(ncpu),
+		perfctlBase:  lay.Words(ncpu),
+		pkgLimitBase: lay.Words(nsock),
+		uncLimitBase: lay.Words(nsock),
 	}
-	epb.OnWrite = func(cpu int, v uint64) {
-		if c := s.coreOf(cpu); c != nil {
-			c.epbBits = v & 0xF
-		}
-	}
-	s.epbMSR = epb
-	dev.Implement(msr.IA32_ENERGY_PERF_BIAS, epb)
+
+	// IA32_ENERGY_PERF_BIAS: per-CPU, writable; feeds the PCU. The raw
+	// word lives in the register file; the effect of a write (the core's
+	// EPB bits) travels with the cloned cores on fork, so no write side
+	// effects ever need replaying.
+	lay.Implement(msr.IA32_ENERGY_PERF_BIAS, &msr.LFunc{
+		Reg: msr.IA32_ENERGY_PERF_BIAS,
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu {
+				return 0, &msr.GPFault{Reg: msr.IA32_ENERGY_PERF_BIAS, CPU: cpu}
+			}
+			return d.Load(ml.epbBase + cpu), nil
+		},
+		WriteFn: func(d *msr.Device, cpu int, v uint64) error {
+			if cpu < 0 || cpu >= ncpu {
+				return &msr.GPFault{Reg: msr.IA32_ENERGY_PERF_BIAS, CPU: cpu, Write: true}
+			}
+			d.Store(ml.epbBase+cpu, v)
+			s := d.Owner().(*System)
+			if c := s.coreOf(cpu); c != nil {
+				c.epbBits = v & 0xF
+			}
+			return nil
+		},
+	})
 
 	// MSR_RAPL_POWER_UNIT: fixed units (power 1/8 W, energy 2^-14 J,
 	// time 1/1024 s).
-	dev.Implement(msr.MSR_RAPL_POWER_UNIT, &msr.Static{
-		V: msr.PowerUnitValue(3, 14, 10), ReadOnly: true, Reg: msr.MSR_RAPL_POWER_UNIT,
+	lay.Implement(msr.MSR_RAPL_POWER_UNIT, &msr.LConst{
+		Reg: msr.MSR_RAPL_POWER_UNIT, V: msr.PowerUnitValue(3, 14, 10),
 	})
 
 	// MSR_PLATFORM_INFO: base (non-turbo) ratio in bits 15:8.
-	dev.Implement(msr.MSR_PLATFORM_INFO, &msr.Static{
-		V: uint64(spec.BaseMHz/100) << 8, ReadOnly: true, Reg: msr.MSR_PLATFORM_INFO,
+	lay.Implement(msr.MSR_PLATFORM_INFO, &msr.LConst{
+		Reg: msr.MSR_PLATFORM_INFO, V: uint64(spec.BaseMHz/100) << 8,
 	})
 
-	// IA32_TIME_STAMP_COUNTER.
-	dev.Implement(msr.IA32_TIME_STAMP_COUNTER, &msr.Func{
-		Reg: msr.IA32_TIME_STAMP_COUNTER,
-		ReadFn: func(cpu int) (uint64, error) {
-			c := s.coreOf(cpu)
-			if c == nil {
-				return 0, &msr.GPFault{Reg: msr.IA32_TIME_STAMP_COUNTER, CPU: cpu}
-			}
-			return c.Snapshot().TSC, nil
-		},
-	})
-	dev.Implement(msr.IA32_APERF, &msr.Func{
-		Reg: msr.IA32_APERF,
-		ReadFn: func(cpu int) (uint64, error) {
-			c := s.coreOf(cpu)
-			if c == nil {
-				return 0, &msr.GPFault{Reg: msr.IA32_APERF, CPU: cpu}
-			}
-			return c.Snapshot().APERF, nil
-		},
-	})
-	dev.Implement(msr.IA32_MPERF, &msr.Func{
-		Reg: msr.IA32_MPERF,
-		ReadFn: func(cpu int) (uint64, error) {
-			c := s.coreOf(cpu)
-			if c == nil {
-				return 0, &msr.GPFault{Reg: msr.IA32_MPERF, CPU: cpu}
-			}
-			return c.Snapshot().MPERF, nil
-		},
-	})
-
-	// IA32_PERF_CTL / IA32_PERF_STATUS: ratio in bits 15:8.
-	perfctl := msr.NewPerCPU(msr.IA32_PERF_CTL, ncpu, false)
-	perfctl.OnWrite = func(cpu int, v uint64) {
-		ratio := (v >> 8) & 0xFF
-		if err := s.SetPState(cpu, uarch.MHz(ratio*100)); err != nil {
-			panic(err) // cpu validated by PerCPU bounds
+	// IA32_TIME_STAMP_COUNTER / IA32_APERF / IA32_MPERF.
+	snapReg := func(reg uint32, field func(perfctr.Snapshot) uint64) *msr.LFunc {
+		return &msr.LFunc{
+			Reg: reg,
+			ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
+				s := d.Owner().(*System)
+				c := s.coreOf(cpu)
+				if c == nil {
+					return 0, &msr.GPFault{Reg: reg, CPU: cpu}
+				}
+				return field(c.Snapshot()), nil
+			},
 		}
 	}
-	s.perfctlMSR = perfctl
-	dev.Implement(msr.IA32_PERF_CTL, perfctl)
-	dev.Implement(msr.IA32_PERF_STATUS, &msr.Func{
+	lay.Implement(msr.IA32_TIME_STAMP_COUNTER, snapReg(msr.IA32_TIME_STAMP_COUNTER,
+		func(sn perfctr.Snapshot) uint64 { return sn.TSC }))
+	lay.Implement(msr.IA32_APERF, snapReg(msr.IA32_APERF,
+		func(sn perfctr.Snapshot) uint64 { return sn.APERF }))
+	lay.Implement(msr.IA32_MPERF, snapReg(msr.IA32_MPERF,
+		func(sn perfctr.Snapshot) uint64 { return sn.MPERF }))
+
+	// IA32_PERF_CTL / IA32_PERF_STATUS: ratio in bits 15:8.
+	lay.Implement(msr.IA32_PERF_CTL, &msr.LFunc{
+		Reg: msr.IA32_PERF_CTL,
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
+			if cpu < 0 || cpu >= ncpu {
+				return 0, &msr.GPFault{Reg: msr.IA32_PERF_CTL, CPU: cpu}
+			}
+			return d.Load(ml.perfctlBase + cpu), nil
+		},
+		WriteFn: func(d *msr.Device, cpu int, v uint64) error {
+			if cpu < 0 || cpu >= ncpu {
+				return &msr.GPFault{Reg: msr.IA32_PERF_CTL, CPU: cpu, Write: true}
+			}
+			d.Store(ml.perfctlBase+cpu, v)
+			ratio := (v >> 8) & 0xFF
+			s := d.Owner().(*System)
+			if err := s.SetPState(cpu, uarch.MHz(ratio*100)); err != nil {
+				panic(err) // cpu validated above
+			}
+			return nil
+		},
+	})
+	lay.Implement(msr.IA32_PERF_STATUS, &msr.LFunc{
 		Reg: msr.IA32_PERF_STATUS,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
+			s := d.Owner().(*System)
 			c := s.coreOf(cpu)
 			if c == nil {
 				return 0, &msr.GPFault{Reg: msr.IA32_PERF_STATUS, CPU: cpu}
@@ -94,22 +131,24 @@ func (s *System) wireMSRs() {
 	})
 
 	// RAPL energy status counters.
-	dev.Implement(msr.MSR_PKG_ENERGY_STATUS, &msr.Func{
+	lay.Implement(msr.MSR_PKG_ENERGY_STATUS, &msr.LFunc{
 		Reg: msr.MSR_PKG_ENERGY_STATUS,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
 			if cpu < 0 || cpu >= ncpu {
 				return 0, &msr.GPFault{Reg: msr.MSR_PKG_ENERGY_STATUS, CPU: cpu}
 			}
+			s := d.Owner().(*System)
 			s.integrateTo(s.Engine.Now())
 			return s.sockets[s.SocketOf(cpu)].RAPL.Pkg.Counter(), nil
 		},
 	})
-	dev.Implement(msr.MSR_DRAM_ENERGY_STATUS, &msr.Func{
+	lay.Implement(msr.MSR_DRAM_ENERGY_STATUS, &msr.LFunc{
 		Reg: msr.MSR_DRAM_ENERGY_STATUS,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
 			if cpu < 0 || cpu >= ncpu || !spec.RAPLDRAMSupported {
 				return 0, &msr.GPFault{Reg: msr.MSR_DRAM_ENERGY_STATUS, CPU: cpu}
 			}
+			s := d.Owner().(*System)
 			s.integrateTo(s.Engine.Now())
 			return s.sockets[s.SocketOf(cpu)].RAPL.DRAM.Counter(), nil
 		},
@@ -117,12 +156,13 @@ func (s *System) wireMSRs() {
 	// MSR_PP0_ENERGY_STATUS: present pre-Haswell, #GP on Haswell-EP
 	// (Section IV: "The power domain for core consumption (PP0) is not
 	// supported on Haswell-EP").
-	dev.Implement(msr.MSR_PP0_ENERGY_STATUS, &msr.Func{
+	lay.Implement(msr.MSR_PP0_ENERGY_STATUS, &msr.LFunc{
 		Reg: msr.MSR_PP0_ENERGY_STATUS,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
 			if cpu < 0 || cpu >= ncpu || !spec.PP0Supported {
 				return 0, &msr.GPFault{Reg: msr.MSR_PP0_ENERGY_STATUS, CPU: cpu}
 			}
+			s := d.Owner().(*System)
 			s.integrateTo(s.Engine.Now())
 			return s.sockets[s.SocketOf(cpu)].RAPL.PP0.Counter(), nil
 		},
@@ -131,25 +171,23 @@ func (s *System) wireMSRs() {
 	// MSR_PKG_POWER_LIMIT: package-scoped, writable; bits 14:0 carry the
 	// limit in 1/8 W units, bit 15 enables it. Writes reprogram the
 	// PCU's enforced limit (the hardware-enforced power bound path).
-	s.pkgLimitMSR = make([]uint64, s.Sockets())
-	for i := range s.pkgLimitMSR {
-		s.pkgLimitMSR[i] = uint64(spec.Power.TDP*8) | 1<<15
-	}
-	dev.Implement(msr.MSR_PKG_POWER_LIMIT, &msr.Func{
+	lay.Implement(msr.MSR_PKG_POWER_LIMIT, &msr.LFunc{
 		Reg: msr.MSR_PKG_POWER_LIMIT,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
 			if cpu < 0 || cpu >= ncpu {
 				return 0, &msr.GPFault{Reg: msr.MSR_PKG_POWER_LIMIT, CPU: cpu}
 			}
-			return s.pkgLimitMSR[s.SocketOf(cpu)], nil
+			s := d.Owner().(*System)
+			return d.Load(ml.pkgLimitBase + s.SocketOf(cpu)), nil
 		},
-		WriteFn: func(cpu int, v uint64) error {
+		WriteFn: func(d *msr.Device, cpu int, v uint64) error {
 			if cpu < 0 || cpu >= ncpu {
 				return &msr.GPFault{Reg: msr.MSR_PKG_POWER_LIMIT, CPU: cpu, Write: true}
 			}
+			s := d.Owner().(*System)
 			s.integrateTo(s.Engine.Now())
 			sock := s.SocketOf(cpu)
-			s.pkgLimitMSR[sock] = v
+			d.Store(ml.pkgLimitBase+sock, v)
 			if tr := s.trace; tr != nil {
 				now := s.Engine.Now()
 				tr.Emitf(now, trace.PowerLimit, sock, -1, "raw %#x", v)
@@ -172,40 +210,43 @@ func (s *System) wireMSRs() {
 	// MSR_UNCORE_RATIO_LIMIT (Section II-D): undocumented when the paper
 	// shipped, later documented as max ratio in bits 6:0 and min ratio
 	// in bits 14:8. Writes bound the UFS decisions.
-	s.uncLimitMSR = make([]uint64, s.Sockets())
-	for i := range s.uncLimitMSR {
-		s.uncLimitMSR[i] = uint64(spec.UncoreMaxMHz/100) | uint64(spec.UncoreMinMHz/100)<<8
-	}
-	dev.Implement(msr.MSR_UNCORE_RATIO_LIMIT, &msr.Func{
+	lay.Implement(msr.MSR_UNCORE_RATIO_LIMIT, &msr.LFunc{
 		Reg: msr.MSR_UNCORE_RATIO_LIMIT,
-		ReadFn: func(cpu int) (uint64, error) {
+		ReadFn: func(d *msr.Device, cpu int) (uint64, error) {
 			if cpu < 0 || cpu >= ncpu {
 				return 0, &msr.GPFault{Reg: msr.MSR_UNCORE_RATIO_LIMIT, CPU: cpu}
 			}
-			return s.uncLimitMSR[s.SocketOf(cpu)], nil
+			s := d.Owner().(*System)
+			return d.Load(ml.uncLimitBase + s.SocketOf(cpu)), nil
 		},
-		WriteFn: func(cpu int, v uint64) error {
+		WriteFn: func(d *msr.Device, cpu int, v uint64) error {
 			if cpu < 0 || cpu >= ncpu {
 				return &msr.GPFault{Reg: msr.MSR_UNCORE_RATIO_LIMIT, CPU: cpu, Write: true}
 			}
+			s := d.Owner().(*System)
 			s.integrateTo(s.Engine.Now())
 			sock := s.SocketOf(cpu)
-			s.uncLimitMSR[sock] = v
+			d.Store(ml.uncLimitBase+sock, v)
 			max := uarch.MHz(v&0x7F) * 100
 			min := uarch.MHz((v>>8)&0x7F) * 100
 			s.sockets[sock].PCU.SetUncoreLimits(min, max)
 			return nil
 		},
 	})
+
+	return ml
 }
 
-// copyMSRState copies another system's mutable register values into this
-// (freshly wired) system. Raw values only — the effects of past writes
-// (EPB bits, PCU limits) travel with the cloned components, so no
-// OnWrite side effects are replayed.
-func (s *System) copyMSRState(from *System) {
-	copy(s.epbMSR.Vals, from.epbMSR.Vals)
-	copy(s.perfctlMSR.Vals, from.perfctlMSR.Vals)
-	copy(s.pkgLimitMSR, from.pkgLimitMSR)
-	copy(s.uncLimitMSR, from.uncLimitMSR)
+// initFile seeds a freshly minted register file with the power-on
+// values (EPB balanced, power limit at rated TDP, uncore limits at the
+// spec range; PERF_CTL words start at zero). Forked systems never call
+// this — they share the parent's file copy-on-write.
+func (ml *msrLayout) initFile(d *msr.Device, spec *uarch.Spec, ncpu, nsock int) {
+	for i := 0; i < ncpu; i++ {
+		d.Store(ml.epbBase+i, 6) // balanced
+	}
+	for i := 0; i < nsock; i++ {
+		d.Store(ml.pkgLimitBase+i, uint64(spec.Power.TDP*8)|1<<15)
+		d.Store(ml.uncLimitBase+i, uint64(spec.UncoreMaxMHz/100)|uint64(spec.UncoreMinMHz/100)<<8)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/cstate"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
@@ -13,16 +14,23 @@ import (
 // residency accumulates per-core time in each frequency bin and each
 // c-state — the simulator's equivalent of the kernel's cpufreq-stats
 // and cpuidle sysfs accounting, and the raw material for duty-cycle
-// analysis of the PCU's behaviour.
+// analysis of the PCU's behaviour. A plain struct copy shares the
+// p-state bins copy-on-write: the first add() after a fork copies them
+// out.
 type residency struct {
 	pstate []sim.Time // indexed by (MHz - min) / step
 	cstate [4]sim.Time
+	gen    cow.Stamp // ownership of the pstate backing
 }
 
 func (r *residency) add(spec *uarch.Spec, f uarch.MHz, cs cstate.State, dt sim.Time) {
 	if r.pstate == nil {
 		bins := int((spec.MaxTurboMHz()-spec.MinMHz)/spec.PStateStep) + 1
 		r.pstate = make([]sim.Time, bins)
+		r.gen.Own()
+	} else if !r.gen.Owned() {
+		r.pstate = append([]sim.Time(nil), r.pstate...)
+		r.gen.Own()
 	}
 	if cs == cstate.C0 {
 		idx := int((f - spec.MinMHz) / spec.PStateStep)
@@ -40,15 +48,6 @@ func (r *residency) add(spec *uarch.Spec, f uarch.MHz, cs cstate.State, dt sim.T
 	case cstate.C6:
 		r.cstate[3] += dt
 	}
-}
-
-// clone returns an independent copy of the accumulator.
-func (r *residency) clone() residency {
-	c := *r
-	if r.pstate != nil {
-		c.pstate = append([]sim.Time(nil), r.pstate...)
-	}
-	return c
 }
 
 // Residency is a copyable report of where a core spent its time.

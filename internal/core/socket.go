@@ -23,14 +23,19 @@ type Socket struct {
 	Spec  *uarch.Spec
 	Topo  *ring.Topology
 	Cache *cache.Model
-	Power *power.PackageModel
-	RAPL  *rapl.Package
-	PCU   *pcu.PCU
 
-	uncoreReg *fivr.Regulator
+	// The stateful components are embedded by value: forking a socket is
+	// a struct copy (plus a handful of fixups) instead of a pointer-clone
+	// per component. Components with internal slices (PCU) are
+	// copy-on-write behind a fork-generation stamp.
+	Power power.PackageModel
+	RAPL  rapl.Package
+	PCU   pcu.PCU
+
+	uncoreReg fivr.Regulator
 	uncoreMHz uarch.MHz
 	uncoreCtr perfctr.Uncore
-	mbvr      *fivr.MBVR
+	mbvr      fivr.MBVR
 
 	cores     []*Core
 	pkgCState cstate.PkgState
@@ -41,12 +46,10 @@ type Socket struct {
 	leftDeepAt    sim.Time
 
 	pcuPhase sim.Time
-	rng      *sim.RNG
-	// tickFn is the persistent PCU grid-tick callback (one closure per
-	// socket instead of one per tick).
-	tickFn sim.Event
+	rng      sim.RNG
 	// tickEv identifies the pending grid-tick event so Fork can re-arm
-	// it declaratively on the child engine.
+	// it declaratively on the child engine (the callback itself is the
+	// System's closure-free HandleEvent dispatch).
 	tickEv sim.EventID
 	// Energy accumulated since the last PCU tick: the RAPL input to the
 	// TDP controller.
@@ -97,7 +100,6 @@ func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
 		Index: index,
 		Spec:  spec,
 		Topo:  topo,
-		rng:   rng,
 	}
 	sk.Cache = cache.NewModel(spec, topo)
 	// Socket silicon lottery: socket 0 is the less efficient part
@@ -106,11 +108,14 @@ func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
 	if index == 0 {
 		ceff = 1.02
 	}
-	sk.Power = power.NewPackageModel(&spec.Power, ceff, sys.cfg.AmbientC)
-	sk.RAPL = rapl.NewPackage(spec, rng.Normal(0, 0.003))
+	sk.Power = *power.NewPackageModel(&spec.Power, ceff, sys.cfg.AmbientC)
+	sk.RAPL = *rapl.NewPackage(spec, rng.Normal(0, 0.003))
 	// Independent per-package grid phase (Section VI-A: packages
 	// transition independently).
 	sk.pcuPhase = sim.Time(rng.Intn(int(500 * sim.Microsecond)))
+	// Capture the stream after the construction draws; subsequent draws
+	// (grid-tick jitter, core regulator forks) go through sk.rng.
+	sk.rng = *rng
 	cfg := pcu.Config{
 		Spec: spec, Socket: index, GridPhase: sk.pcuPhase,
 		TurboEnabled: sys.cfg.TurboEnabled, EETEnabled: sys.cfg.EETEnabled,
@@ -118,16 +123,15 @@ func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
 		BudgetTrading: sys.cfg.BudgetTrading, TDPOverrideW: sys.cfg.TDPOverrideW,
 		ThrottleTempC: sys.cfg.ThrottleTempC,
 	}
-	sk.PCU = pcu.New(cfg)
-	sk.uncoreReg = fivr.NewRegulator(&spec.Power, 0, spec.PStateSwitchUS, rng.Fork(0xB0))
+	sk.PCU = *pcu.New(cfg)
+	sk.uncoreReg = *fivr.NewRegulator(&spec.Power, 0, spec.PStateSwitchUS, sk.rng.Fork(0xB0))
 	sk.uncoreMHz = spec.UncoreMinMHz
-	sk.mbvr = fivr.NewMBVR()
+	sk.mbvr = *fivr.NewMBVR()
 
 	offsets := fivr.CoreOffsets(spec.Cores, index, sys.cfg.Seed)
 	for i := 0; i < spec.Cores; i++ {
 		sk.cores = append(sk.cores, newCore(sk, i, offsets[i]))
 	}
-	sk.tickFn = sk.gridTick
 	sk.opDirty = true
 	return sk
 }
@@ -144,7 +148,7 @@ func (sk *Socket) UncoreMHz() uarch.MHz {
 }
 
 // MBVR returns the socket's mainboard voltage regulator model.
-func (sk *Socket) MBVR() *fivr.MBVR { return sk.mbvr }
+func (sk *Socket) MBVR() *fivr.MBVR { return &sk.mbvr }
 
 // PkgCState returns the package c-state.
 func (sk *Socket) PkgCState() cstate.PkgState { return sk.pkgCState }
@@ -161,7 +165,7 @@ func (sk *Socket) scheduleNextTick(at sim.Time) {
 	if at < sk.sys.Engine.Now() {
 		at = sk.sys.Engine.Now()
 	}
-	sk.tickEv = sk.sys.Engine.At(at, sk.tickFn)
+	sk.tickEv = sk.sys.Engine.AtHandler(at, sk.sys, sk.sys.CPUs()+sk.Index)
 }
 
 // gridTick is the persistent PCU grid event: evaluate, then re-arm with

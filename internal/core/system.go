@@ -99,9 +99,17 @@ type System struct {
 	cfg    Config
 
 	sockets []*Socket
-	msrDev  *msr.Device
-	meter   *power.LMG450
-	rng     *sim.RNG
+	// mlay is the immutable MSR layout (register map + slot bases),
+	// built once per root system and shared by reference with every
+	// fork; msrDev is this system's device: layout pointer plus a
+	// copy-on-write register file.
+	mlay   *msrLayout
+	msrDev *msr.Device
+	// meter and rng are embedded by value: a struct copy of the System
+	// carries them wholesale (the meter's sample history is
+	// copy-on-write inside LMG450).
+	meter power.LMG450
+	rng   sim.RNG
 
 	lastIntegrate sim.Time
 	// AC energy accumulated since the last meter sample, for averaging.
@@ -110,12 +118,13 @@ type System struct {
 
 	epb pcu.EPB
 
-	// Mutable MSR backing state, held as fields (not handler closure
-	// locals) so Fork can copy it wholesale; wireMSRs populates them.
-	epbMSR      *msr.PerCPU
-	perfctlMSR  *msr.PerCPU
-	pkgLimitMSR []uint64
-	uncLimitMSR []uint64
+	// pool is the tree-wide free list of released fork children (shared
+	// by every fork of one root); releaseTo is where Release returns
+	// this system's storage — nil for a root system, the tree's pool
+	// for a fork child. Held by pointer so a System struct copy carries
+	// no mutex.
+	pool      *forkPool
+	releaseTo *forkPool
 
 	// meterEv identifies the meter's periodic sample event so Fork can
 	// re-arm it declaratively on the child engine.
@@ -157,7 +166,7 @@ func (s *System) EnableTrace(capacity int) *trace.Collector {
 		s.trace.Beginf(now, trace.SpanUncore, sk.Index, -1, "%v", sk.uncoreMHz)
 		s.trace.Begin(now, trace.SpanPkgCState, sk.Index, -1, sk.pkgCState.String())
 		s.trace.Beginf(now, trace.SpanPowerLimit, sk.Index, -1, "%.1f W",
-			float64(s.pkgLimitMSR[sk.Index]&0x7FFF)/8)
+			float64(s.msrDev.Load(s.mlay.pkgLimitBase+sk.Index)&0x7FFF)/8)
 	}
 	return s.trace
 }
@@ -180,11 +189,10 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		Engine: sim.NewEngine(),
 		cfg:    cfg,
-		msrDev: msr.NewDevice(),
-		rng:    sim.NewRNG(cfg.Seed),
 		epb:    pcu.EPBBalanced,
 	}
-	s.meter = power.NewLMG450(s.rng.Fork(0xAC))
+	s.rng = *sim.NewRNG(cfg.Seed)
+	s.meter = *power.NewLMG450(s.rng.Fork(0xAC))
 
 	topo, err := topologyFor(cfg.Spec)
 	if err != nil {
@@ -193,13 +201,17 @@ func NewSystem(cfg Config) (*System, error) {
 	for i := 0; i < cfg.Sockets; i++ {
 		s.sockets = append(s.sockets, newSocket(s, i, topo))
 	}
-	s.wireMSRs()
+	s.mlay = buildMSRLayout(cfg.Spec, s.CPUs(), cfg.Sockets)
+	s.msrDev = s.mlay.lay.Device(s)
+	s.mlay.initFile(s.msrDev, cfg.Spec, s.CPUs(), cfg.Sockets)
+	s.pool = &forkPool{}
 
 	// Arm the PCU grids (jittered, per-socket phase) and the meter.
 	for _, sk := range s.sockets {
 		sk.scheduleNextTick(sk.pcuPhase)
 	}
-	s.meterEv = s.Engine.EveryID(power.SamplePeriod, power.SamplePeriod, s.meterTick)
+	s.meterEv = s.Engine.EveryIDHandler(power.SamplePeriod, power.SamplePeriod,
+		s, s.CPUs()+len(s.sockets))
 	// Prime the integrator and resolve initial package states (all
 	// cores idle: both packages sink into deep package sleep).
 	s.refreshPackageStates()
@@ -247,7 +259,27 @@ func (s *System) coreOf(cpu int) *Core {
 func (s *System) MSR() *msr.Device { return s.msrDev }
 
 // Meter returns the LMG450 reference power meter.
-func (s *System) Meter() *power.LMG450 { return s.meter }
+func (s *System) Meter() *power.LMG450 { return &s.meter }
+
+// HandleEvent dispatches the platform's own timers (sim.Handler). The
+// integer argument encodes the target, so every platform event — core
+// p-state completions, per-socket PCU grid ticks, the meter sample — is
+// scheduled closure-free: arg in [0, CPUs) is a core completion, the
+// next Sockets() values are grid ticks, anything above is the meter.
+// Re-arming the whole schedule on a forked engine therefore allocates
+// nothing beyond the queue entries themselves.
+func (s *System) HandleEvent(now sim.Time, arg int) {
+	ncpu := s.CPUs()
+	switch {
+	case arg < ncpu:
+		cores := s.cfg.Spec.Cores
+		s.sockets[arg/cores].cores[arg%cores].onComplete(now)
+	case arg < ncpu+len(s.sockets):
+		s.sockets[arg-ncpu].gridTick(now)
+	default:
+		s.meterTick(now)
+	}
+}
 
 // Now returns the current virtual time.
 func (s *System) Now() sim.Time { return s.Engine.Now() }

@@ -1,0 +1,54 @@
+// Package cow implements the fork-generation protocol behind the
+// simulator's copy-on-write clones.
+//
+// The protocol replaces per-buffer ownership flags with one global,
+// monotonically increasing fork generation. A component that wants lazy
+// cloning embeds a Stamp next to its buffers:
+//
+//   - at construction, and after copying its buffers out, the component
+//     calls Own(), recording the current generation;
+//   - every share operation — core.System.Fork, or any standalone
+//     component Clone — calls Bump() exactly once before copying the
+//     struct, so both sides' stamps become stale;
+//   - every mutating method runs the write barrier first: if the stamp
+//     is stale, copy the buffers out (right-sized) and Own() them.
+//
+// The invariant this maintains: a current stamp implies sole ownership
+// of the backing storage, because stamps only become current at
+// construction or immediately after a private copy, and every path that
+// creates a second reference bumps the generation first. Conversely a
+// stale stamp means the backing may be shared and must be treated as
+// frozen — reads are always safe, writes must copy first.
+//
+// Bump is deliberately global rather than per-system: a fork anywhere
+// invalidates stamps everywhere, which at worst causes an unrelated
+// component to make one spurious right-sized copy on its next write.
+// In exchange, plain struct copies need no atomics (stamps are plain
+// integers, so `*child = *parent` is race-free and vet-clean), and the
+// barrier itself is a single uncontended atomic load.
+package cow
+
+import "sync/atomic"
+
+// gen is the global fork generation. It starts at 1 so that zero-valued
+// stamps are stale — a zero-valued component conservatively copies (its
+// buffers are nil, so the copy is free) rather than claiming ownership.
+var gen atomic.Uint64
+
+func init() { gen.Store(1) }
+
+// Bump advances the fork generation, staling every stamp issued so far.
+// Call it once per share operation, before copying the sharing struct.
+func Bump() { gen.Add(1) }
+
+// Stamp records the fork generation at which a component last took
+// ownership of its backing storage. The zero value is stale.
+type Stamp uint64
+
+// Owned reports whether the stamp is current — the holder is the sole
+// owner of its backing storage and may write in place.
+func (s *Stamp) Owned() bool { return uint64(*s) == gen.Load() }
+
+// Own marks the holder as sole owner at the current generation. Call
+// only at construction or immediately after copying the backing out.
+func (s *Stamp) Own() { *s = Stamp(gen.Load()) }

@@ -1,0 +1,36 @@
+package cow
+
+import "testing"
+
+func TestZeroStampIsStale(t *testing.T) {
+	var s Stamp
+	if s.Owned() {
+		t.Fatal("zero stamp must be stale")
+	}
+}
+
+func TestOwnThenBump(t *testing.T) {
+	var s Stamp
+	s.Own()
+	if !s.Owned() {
+		t.Fatal("stamp must be current right after Own")
+	}
+	Bump()
+	if s.Owned() {
+		t.Fatal("stamp must be stale after Bump")
+	}
+	s.Own()
+	if !s.Owned() {
+		t.Fatal("re-owning after Bump must succeed")
+	}
+}
+
+func TestBumpStalesAllCopies(t *testing.T) {
+	var a Stamp
+	a.Own()
+	b := a // the share: both sides hold the same stamp value
+	Bump()
+	if a.Owned() || b.Owned() {
+		t.Fatal("both sides of a share must be stale after the Bump")
+	}
+}

@@ -11,8 +11,16 @@ import "hswsim/internal/core"
 // keeps rendered output byte-identical to a serial sweep.
 //
 // The parent must be quiescent (only platform timers pending) and is
-// never mutated: System.Fork is read-only on an integrated platform,
-// so any number of points may fork it at once.
+// never mutated beyond its lock-protected child free list: System.Fork
+// is otherwise read-only on an integrated platform, so any number of
+// points may fork it at once.
+//
+// Each point's child is Released back to the parent's free list once fn
+// returns, so a sweep recycles a handful of children across all its
+// points instead of allocating one platform per point. fn must
+// therefore not retain the *System (or pointers into it) past its
+// return — every point callback in this package extracts plain result
+// values, which is what makes the release safe.
 func forkMap[T, R any](parent *core.System, items []T, fn func(*core.System, T) (R, error)) ([]R, error) {
 	return parallelMap(items, func(it T) (R, error) {
 		sys, err := parent.Fork()
@@ -20,6 +28,8 @@ func forkMap[T, R any](parent *core.System, items []T, fn func(*core.System, T) 
 			var zero R
 			return zero, err
 		}
-		return fn(sys, it)
+		r, err := fn(sys, it)
+		sys.Release()
+		return r, err
 	})
 }

@@ -19,13 +19,16 @@ import (
 	"hswsim/internal/uarch"
 )
 
-// Regulator is one core's (or the uncore's) voltage domain.
+// Regulator is one core's (or the uncore's) voltage domain. It is a
+// plain value (the jitter stream is held inline), so a struct copy is a
+// complete, independent clone — core.System.Fork embeds regulators by
+// value and copies them wholesale.
 type Regulator struct {
 	spec *uarch.PowerModel
 	// offset is this domain's part-to-part voltage offset in volts.
 	offset float64
 	// switching time jitter source
-	rng *sim.RNG
+	rng sim.RNG
 	// nominal switching time and jitter spread
 	switchTime   sim.Time
 	switchJitter sim.Time
@@ -40,7 +43,7 @@ func NewRegulator(pm *uarch.PowerModel, offsetVolts float64, switchUS float64, r
 	r := &Regulator{
 		spec:         pm,
 		offset:       offsetVolts,
-		rng:          rng,
+		rng:          *rng,
 		switchTime:   sim.Time(switchUS * float64(sim.Microsecond)),
 		switchJitter: sim.Time(switchUS * 0.2 * float64(sim.Microsecond)),
 	}
@@ -53,7 +56,6 @@ func NewRegulator(pm *uarch.PowerModel, offsetVolts float64, switchUS float64, r
 // produce identical switching times for identical request sequences.
 func (r *Regulator) Clone() *Regulator {
 	c := *r
-	c.rng = r.rng.Clone()
 	return &c
 }
 

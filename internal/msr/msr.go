@@ -11,6 +11,8 @@ package msr
 import (
 	"fmt"
 	"sort"
+
+	"hswsim/internal/cow"
 )
 
 // Register numbers for the modeled MSRs (Intel SDM Vol. 4 numbering).
@@ -89,8 +91,18 @@ type Handler interface {
 	WriteMSR(cpu int, v uint64) error
 }
 
-// Device is the per-system MSR access multiplexer.
+// Device is the per-system MSR access multiplexer. It serves registers
+// from two sources: a shared immutable Layout plus its per-system
+// register file (see layout.go), and/or a legacy per-device Handler
+// map. The layout wins on overlap.
 type Device struct {
+	// Layout half: shared register map, per-system copy-on-write file.
+	layout *Layout
+	owner  any
+	words  []uint64
+	gen    cow.Stamp // ownership of the words backing
+
+	// Legacy half: per-device handlers (tests, ad-hoc devices).
 	regs map[uint32]Handler
 }
 
@@ -99,16 +111,30 @@ func NewDevice() *Device {
 	return &Device{regs: make(map[uint32]Handler)}
 }
 
-// Implement installs a handler for reg, replacing any previous one.
+// Implement installs a legacy handler for reg, replacing any previous
+// one (but not shadowing a layout handler — the layout wins).
 func (d *Device) Implement(reg uint32, h Handler) {
+	if d.regs == nil {
+		d.regs = make(map[uint32]Handler)
+	}
 	d.regs[reg] = h
 }
 
-// Implemented lists the implemented register numbers in ascending order.
+// Implemented lists the implemented register numbers in ascending order,
+// merging the shared layout with the per-device handlers.
 func (d *Device) Implemented() []uint32 {
+	seen := make(map[uint32]bool, len(d.regs))
 	out := make([]uint32, 0, len(d.regs))
+	if d.layout != nil {
+		for r := range d.layout.regs {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
 	for r := range d.regs {
-		out = append(out, r)
+		if !seen[r] {
+			out = append(out, r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -116,6 +142,11 @@ func (d *Device) Implemented() []uint32 {
 
 // Read performs rdmsr on the given logical CPU.
 func (d *Device) Read(cpu int, reg uint32) (uint64, error) {
+	if d.layout != nil {
+		if h, ok := d.layout.regs[reg]; ok {
+			return h.ReadMSR(d, cpu)
+		}
+	}
 	h, ok := d.regs[reg]
 	if !ok {
 		return 0, &GPFault{Reg: reg, CPU: cpu}
@@ -125,6 +156,11 @@ func (d *Device) Read(cpu int, reg uint32) (uint64, error) {
 
 // Write performs wrmsr on the given logical CPU.
 func (d *Device) Write(cpu int, reg uint32, v uint64) error {
+	if d.layout != nil {
+		if h, ok := d.layout.regs[reg]; ok {
+			return h.WriteMSR(d, cpu, v)
+		}
+	}
 	h, ok := d.regs[reg]
 	if !ok {
 		return &GPFault{Reg: reg, CPU: cpu, Write: true}

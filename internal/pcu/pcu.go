@@ -24,6 +24,7 @@ package pcu
 import (
 	"fmt"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/cstate"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
@@ -161,6 +162,11 @@ type PCU struct {
 	// Tick call).
 	decCore []uarch.MHz
 	decAVX  []bool
+
+	// gen covers the AVX/EET bookkeeping slices and the Tick scratch:
+	// clones (and the plain struct copies core.System.Fork makes) share
+	// them, and Tick copies out on first use after a share.
+	gen cow.Stamp
 }
 
 // New builds a PCU.
@@ -180,22 +186,36 @@ func New(cfg Config) *PCU {
 	for i := range p.lastAVX {
 		p.lastAVX[i] = -sim.Second
 	}
+	p.gen.Own()
 	return p
 }
 
 // Clone returns an independent copy of the PCU: same controller state
-// (throttle depth, uncore clock, AVX/EET bookkeeping), fresh scratch
-// buffers. cfg is copied as-is — its Spec pointer is immutable and safe
-// to share. A clone's future Tick decisions match the original's
-// exactly for identical telemetry.
+// (throttle depth, uncore clock, AVX/EET bookkeeping). cfg is copied
+// as-is — its Spec pointer is immutable and safe to share. The
+// bookkeeping slices are shared copy-on-write: whichever side Ticks
+// next copies them out (and drops the shared Decision scratch). A
+// clone's future Tick decisions match the original's exactly for
+// identical telemetry.
 func (p *PCU) Clone() *PCU {
+	cow.Bump()
 	c := *p
-	c.lastAVX = append([]sim.Time(nil), p.lastAVX...)
-	c.eetStall = append([]float64(nil), p.eetStall...)
-	// Tick lazily reallocates the Decision scratch on first use.
-	c.decCore = nil
-	c.decAVX = nil
 	return &c
+}
+
+// own runs the copy-on-write barrier before Tick mutates the
+// bookkeeping slices or reuses the Decision scratch.
+func (p *PCU) own() {
+	if p.gen.Owned() {
+		return
+	}
+	p.lastAVX = append([]sim.Time(nil), p.lastAVX...)
+	p.eetStall = append([]float64(nil), p.eetStall...)
+	// The Decision scratch may be shared with the clone source; Tick
+	// lazily reallocates nil scratch.
+	p.decCore = nil
+	p.decAVX = nil
+	p.gen.Own()
 }
 
 // TDPWatts returns the enforced package power limit.
@@ -277,6 +297,7 @@ func (p *PCU) eetPeriod() sim.Time {
 // Tick runs one grid evaluation and returns the new operating targets.
 // The returned slices are reused by the next Tick call.
 func (p *PCU) Tick(now sim.Time, tel Telemetry) Decision {
+	p.own()
 	p.ticks++
 	n := p.cfg.Spec.Cores
 	if p.decCore == nil {

@@ -13,6 +13,7 @@ package power
 import (
 	"fmt"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/cstate"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
@@ -86,6 +87,13 @@ func (p *PackageModel) Clone() *PackageModel {
 	c.scratch = ComputeMemo{}
 	return &c
 }
+
+// ResetScratch drops the internal Compute memo. A plain struct copy of
+// a PackageModel (core.System.Fork's copy-on-write socket clone) shares
+// the memo's backing slices with the source; the copy must call this so
+// its next Compute re-derives a private memo instead of scribbling into
+// shared storage.
+func (p *PackageModel) ResetScratch() { p.scratch = ComputeMemo{} }
 
 // TempC returns the present die temperature.
 func (p *PackageModel) TempC() float64 { return p.tempC }
@@ -268,9 +276,15 @@ func (n NodeConfig) ACWatts(raplDomainsW float64) float64 {
 
 // LMG450 models the ZES ZIMMER LMG450 4-channel power meter: 20 Sa/s AC
 // power samples with 0.07 % + 0.23 W accuracy.
+//
+// The meter is a plain value: the noise stream is held inline and the
+// sample log is copy-on-write across clones (and across the plain
+// struct copies core.System.Fork makes), so cloning a meter with a long
+// recording costs nothing until one side records again.
 type LMG450 struct {
-	rng     *sim.RNG
+	rng     sim.RNG
 	samples []Sample
+	gen     cow.Stamp // ownership of the samples backing
 }
 
 // Sample is one 50 ms meter reading.
@@ -284,22 +298,29 @@ const SamplePeriod = 50 * sim.Millisecond
 
 // NewLMG450 returns a meter with a deterministic noise stream.
 func NewLMG450(rng *sim.RNG) *LMG450 {
-	return &LMG450{rng: rng}
+	m := &LMG450{rng: *rng}
+	m.gen.Own()
+	return m
 }
 
 // Clone returns an independent copy of the meter: same recorded
 // samples, noise stream continuing from the same position — so clone
-// and original record identical readings for identical inputs.
+// and original record identical readings for identical inputs. The
+// sample log is shared copy-on-write; whichever side records next
+// copies it out first.
 func (m *LMG450) Clone() *LMG450 {
-	return &LMG450{
-		rng:     m.rng.Clone(),
-		samples: append([]Sample(nil), m.samples...),
-	}
+	cow.Bump()
+	c := *m
+	return &c
 }
 
 // Record stores one reading of the true AC power, applying the meter's
 // accuracy band.
 func (m *LMG450) Record(at sim.Time, trueWatts float64) {
+	if !m.gen.Owned() {
+		m.samples = append([]Sample(nil), m.samples...)
+		m.gen.Own()
+	}
 	noise := m.rng.Uniform(-1, 1) * (0.0007*trueWatts + 0.23)
 	m.samples = append(m.samples, Sample{At: at, W: trueWatts + noise})
 }

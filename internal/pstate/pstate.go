@@ -9,6 +9,7 @@ package pstate
 import (
 	"fmt"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
 )
@@ -25,15 +26,17 @@ type Domain struct {
 	inFlight  bool
 
 	// transitions is a bounded ring of the most recent logLimit
-	// transitions. Storage is grabbed at full capacity on the first
-	// transition (domains that never change frequency pay nothing);
-	// once len reaches logLimit the ring wraps through head, so the
-	// steady logging path never allocates — the previous
-	// sliding-window trim kept append permanently at capacity and
-	// re-allocated the whole log every logLimit-th entry.
+	// transitions. Storage grows by append (domains that never change
+	// frequency pay nothing, lightly-used domains hold only what they
+	// logged); once len reaches logLimit the ring wraps through head,
+	// so the steady logging path never allocates. The ring is
+	// copy-on-write across clones: Clone shares the backing and bumps
+	// the fork generation, and the write paths copy it out — exactly
+	// len entries, preserving head — before mutating.
 	transitions []Transition
 	head        int // oldest entry once the ring is full
 	logLimit    int
+	gen         cow.Stamp // ownership of the transitions backing
 }
 
 // Transition records one completed frequency change.
@@ -52,25 +55,41 @@ func (t Transition) SwitchTime() sim.Time { return t.CompletedAt - t.GrantedAt }
 
 // NewDomain builds a domain running at the minimum p-state.
 func NewDomain(spec *uarch.Spec) *Domain {
-	return &Domain{
+	d := &Domain{
 		spec:      spec,
 		requested: spec.BaseMHz,
 		granted:   spec.MinMHz,
 		logLimit:  4096,
 	}
+	d.gen.Own()
+	return d
 }
 
 // Clone returns an independent copy of the domain — same requested,
-// granted and in-flight transition state, with its own transition ring
-// (the ring holds pointers handed out by last(), so it must not be
-// shared). A clone's future evolution matches the original's exactly.
+// granted and in-flight transition state. The transition ring is shared
+// copy-on-write: both sides keep reading the common backing and the
+// first of them to log or complete a transition copies it out first, so
+// a clone's future evolution matches the original's exactly without an
+// eager ring copy.
 func (d *Domain) Clone() *Domain {
+	cow.Bump()
 	c := *d
-	if d.transitions != nil {
-		c.transitions = make([]Transition, len(d.transitions), cap(d.transitions))
-		copy(c.transitions, d.transitions)
-	}
 	return &c
+}
+
+// own runs the copy-on-write barrier: if the transition ring may be
+// shared with a clone, replace it with a private right-sized copy
+// (same layout — head still indexes correctly).
+func (d *Domain) own() {
+	if d.gen.Owned() {
+		return
+	}
+	if d.transitions != nil {
+		nt := make([]Transition, len(d.transitions))
+		copy(nt, d.transitions)
+		d.transitions = nt
+	}
+	d.gen.Own()
 }
 
 // Request records a software p-state request. Values are clamped to the
@@ -118,9 +137,7 @@ func (d *Domain) Begin(requestedAt, grantedAt sim.Time, target uarch.MHz, switch
 // log appends to the transition ring, overwriting the oldest entry once
 // full.
 func (d *Domain) log(t Transition) {
-	if d.transitions == nil {
-		d.transitions = make([]Transition, 0, d.logLimit)
-	}
+	d.own()
 	if len(d.transitions) < d.logLimit {
 		d.transitions = append(d.transitions, t)
 		return
@@ -152,6 +169,7 @@ func (d *Domain) Complete(now sim.Time) bool {
 	}
 	d.granted = d.target
 	d.inFlight = false
+	d.own() // Complete writes through last()'s pointer into the ring
 	if t := d.last(); t != nil && t.CompletedAt == 0 {
 		t.CompletedAt = d.completes
 	}

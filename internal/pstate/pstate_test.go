@@ -1,6 +1,7 @@
 package pstate
 
 import (
+	"reflect"
 	"testing"
 
 	"hswsim/internal/sim"
@@ -113,5 +114,44 @@ func TestCompletionTime(t *testing.T) {
 	at, ok := d.CompletionTime()
 	if !ok || at != 125 {
 		t.Fatalf("CompletionTime = %v,%v want 125,true", at, ok)
+	}
+}
+
+func TestCloneSharesRingCopyOnWrite(t *testing.T) {
+	d := newDomain()
+	for i := 0; i < 5; i++ {
+		at := sim.Time(i * 100)
+		if !d.Begin(at, at, uarch.MHz(1300+100*i), 10) {
+			t.Fatalf("Begin %d returned false", i)
+		}
+		if !d.Complete(at + 10) {
+			t.Fatalf("Complete %d returned false", i)
+		}
+	}
+	before := d.Transitions()
+
+	c := d.Clone()
+	if &c.transitions[0] != &d.transitions[0] {
+		t.Fatal("Clone copied the transition ring eagerly; want a lazy share")
+	}
+
+	// A write on the clone copies the ring out; the original's log must
+	// not see it.
+	if !c.Begin(1000, 1000, 2400, 10) || !c.Complete(1010) {
+		t.Fatal("clone transition did not run")
+	}
+	if got := d.Transitions(); !reflect.DeepEqual(got, before) {
+		t.Errorf("clone write leaked into original: %v", got)
+	}
+	if got := len(c.Transitions()); got != len(before)+1 {
+		t.Errorf("clone log has %d entries, want %d", got, len(before)+1)
+	}
+
+	// And the original can keep logging without touching the clone.
+	if !d.Begin(2000, 2000, 1800, 10) || !d.Complete(2010) {
+		t.Fatal("original transition did not run")
+	}
+	if got := len(c.Transitions()); got != len(before)+1 {
+		t.Errorf("original write leaked into clone: %d entries", got)
 	}
 }

@@ -10,6 +10,16 @@ import (
 // passes the current virtual time (the event's due time) to the callback.
 type Event func(now Time)
 
+// Handler is the closure-free alternative to Event: the engine calls
+// HandleEvent with the due time and the integer argument given at
+// scheduling time. Components that schedule many events per fork (one
+// per core, per socket) implement Handler once and encode the target in
+// arg, so re-arming a schedule on a forked engine allocates no closures
+// — an interface value holding a pointer is free to construct.
+type Handler interface {
+	HandleEvent(now Time, arg int)
+}
+
 // scheduled is an entry in the event queue. seq breaks ties between events
 // scheduled for the same instant so dispatch order is insertion order,
 // keeping runs deterministic.
@@ -21,9 +31,13 @@ type Event func(now Time)
 // Periodic timers (Every) are intrusive: period > 0 marks an entry that
 // re-arms itself after each dispatch instead of allocating a successor.
 type scheduled struct {
-	at     Time
-	seq    uint64
-	fn     Event
+	at  Time
+	seq uint64
+	fn  Event
+	// h/arg are the closure-free callback form: when h is non-nil the
+	// dispatcher calls h.HandleEvent(now, arg) instead of fn(now).
+	h      Handler
+	arg    int
 	index  int    // heap index; -1 once popped/cancelled, -2 claimed in a dispatch batch
 	gen    uint64 // incremented each time the entry returns to the pool
 	period Time   // > 0: persistent periodic timer (Every)
@@ -175,6 +189,8 @@ func (e *Engine) alloc() *scheduled {
 func (e *Engine) release(s *scheduled) {
 	s.gen++
 	s.fn = nil
+	s.h = nil
+	s.arg = 0
 	s.period = 0
 	s.stopped = false
 	s.index = -1
@@ -245,6 +261,15 @@ func (e *Engine) At(t Time, fn Event) EventID {
 	return EventID{s: s, gen: s.gen}
 }
 
+// AtHandler is At for a Handler callback: h.HandleEvent(t, arg) runs at
+// absolute virtual time t. Unlike At it allocates no closure.
+func (e *Engine) AtHandler(t Time, h Handler, arg int) EventID {
+	s := e.schedule(t, nil)
+	s.h = h
+	s.arg = arg
+	return EventID{s: s, gen: s.gen}
+}
+
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn Event) EventID {
 	if d < 0 {
@@ -292,6 +317,18 @@ func (e *Engine) EveryID(start, period Time, fn Event) EventID {
 	return EventID{s: s, gen: s.gen}
 }
 
+// EveryIDHandler is EveryID for a Handler callback.
+func (e *Engine) EveryIDHandler(start, period Time, h Handler, arg int) EventID {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	s := e.schedule(start, nil)
+	s.h = h
+	s.arg = arg
+	s.period = period
+	return EventID{s: s, gen: s.gen}
+}
+
 // StopSeries stops a periodic series started with EveryID. Stopping an
 // already-retired series (stale ID) is a no-op.
 func (e *Engine) StopSeries(id EventID) {
@@ -330,7 +367,36 @@ func (e *Engine) Fork() *Engine {
 	// Counted directly (forks are per sweep point, not per event). The
 	// parent is not mutated: concurrent forks of one parent stay safe.
 	obs.SimForks.Inc()
-	return &Engine{now: e.now, seq: e.seq}
+	n := &Engine{now: e.now, seq: e.seq}
+	// The child will immediately re-arm one entry per pending parent
+	// event; pre-size its free list and heap in one slab each so the
+	// re-arm loop allocates nothing.
+	if pending := len(e.queue); pending > 0 {
+		slab := make([]scheduled, pending)
+		n.free = make([]*scheduled, pending)
+		for i := range slab {
+			n.free[i] = &slab[i]
+		}
+		n.queue = make(eventQueue, 0, pending)
+	}
+	return n
+}
+
+// ResetToFork empties a recycled engine and aligns its clock and
+// tie-break counter with parent — the allocation-free equivalent of
+// parent.Fork() for a child engine being reused from a free list.
+// Retired queue entries go back to the entry pool, so the subsequent
+// re-arm loop draws from it instead of allocating.
+func (e *Engine) ResetToFork(parent *Engine) {
+	obs.SimForks.Inc()
+	for i, s := range e.queue {
+		e.queue[i] = nil
+		e.release(s)
+	}
+	e.queue = e.queue[:0]
+	e.now = parent.now
+	e.seq = parent.seq
+	e.Stepped = nil
 }
 
 // Rearm re-creates a pending parent event on this (forked) engine with
@@ -348,6 +414,23 @@ func (e *Engine) Rearm(id EventID, fn Event) EventID {
 	n.at = s.at
 	n.seq = s.seq
 	n.fn = fn
+	n.period = s.period
+	e.push(n)
+	return EventID{s: n, gen: n.gen}
+}
+
+// RearmHandler is Rearm for a Handler callback: it re-creates the
+// pending parent event with a closure-free child-bound callback.
+func (e *Engine) RearmHandler(id EventID, h Handler, arg int) EventID {
+	s := id.s
+	if s == nil || s.gen != id.gen || s.index < 0 || s.stopped {
+		panic("sim: Rearm of an event that is not pending")
+	}
+	n := e.alloc()
+	n.at = s.at
+	n.seq = s.seq
+	n.h = h
+	n.arg = arg
 	n.period = s.period
 	e.push(n)
 	return EventID{s: n, gen: n.gen}
@@ -390,7 +473,11 @@ func (e *Engine) dispatch(s *scheduled) {
 	e.stats.dispatched++
 	if s.period > 0 {
 		if !s.stopped {
-			s.fn(e.now)
+			if s.h != nil {
+				s.h.HandleEvent(e.now, s.arg)
+			} else {
+				s.fn(e.now)
+			}
 		}
 		if s.stopped {
 			e.release(s)
@@ -403,9 +490,13 @@ func (e *Engine) dispatch(s *scheduled) {
 			e.push(s)
 		}
 	} else {
-		fn := s.fn
+		fn, h, arg := s.fn, s.h, s.arg
 		e.release(s)
-		fn(e.now)
+		if h != nil {
+			h.HandleEvent(e.now, arg)
+		} else {
+			fn(e.now)
+		}
 	}
 	if e.Stepped != nil {
 		e.Stepped(e.now)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/sim"
 )
 
@@ -115,9 +116,12 @@ type openSpan struct {
 type Collector struct {
 	events *Buffer
 
-	spans []Span // completed-span ring, in End order
+	// spans is the completed-span ring, in End order. Like the leaf
+	// Buffer it grows by append up to cap, then wraps through next, and
+	// is copy-on-write across clones together with the open-episode
+	// table (one stamp covers both).
+	spans []Span
 	next  int
-	full  bool
 	cap   int
 	// spanDrops counts completed spans overwritten at capacity;
 	// recorded counts every completed span ever recorded.
@@ -125,49 +129,72 @@ type Collector struct {
 	recorded  uint64
 
 	open map[spanKey]openSpan
+	gen  cow.Stamp // ownership of spans and open
 }
 
 // NewCollector creates a collector holding up to eventCap leaf events
-// and spanCap completed spans.
+// and spanCap completed spans. Span storage is allocated lazily.
 func NewCollector(eventCap, spanCap int) *Collector {
 	if spanCap <= 0 {
 		spanCap = 4096
 	}
-	return &Collector{
+	c := &Collector{
 		events: New(eventCap),
-		spans:  make([]Span, spanCap),
 		cap:    spanCap,
 		open:   map[spanKey]openSpan{},
 	}
+	c.gen.Own()
+	return c
 }
 
-// Clone returns an independent deep copy (nil clones to nil). Used by
+// Clone returns an independent copy (nil clones to nil). Used by
 // core.System.Fork: the child's trace evolves bitwise-identically to
-// what the parent's would under the same subsequent events.
+// what the parent's would under the same subsequent events. The span
+// ring and open-episode table are shared copy-on-write — whichever side
+// records next copies only the used region out.
 func (c *Collector) Clone() *Collector {
 	if c == nil {
 		return nil
 	}
+	cow.Bump()
 	n := *c
 	n.events = c.events.Clone()
-	n.spans = append([]Span(nil), c.spans...)
-	n.open = make(map[spanKey]openSpan, len(c.open))
-	for k, v := range c.open {
-		n.open[k] = v
-	}
 	return &n
+}
+
+// own runs the copy-on-write barrier for the span ring and the
+// open-episode table.
+func (c *Collector) own() {
+	if c.gen.Owned() {
+		return
+	}
+	if c.spans != nil {
+		ns := make([]Span, len(c.spans))
+		copy(ns, c.spans)
+		c.spans = ns
+	}
+	m := make(map[spanKey]openSpan, len(c.open))
+	for k, v := range c.open {
+		m[k] = v
+	}
+	c.open = m
+	c.gen.Own()
 }
 
 // add records one completed span into the ring.
 func (c *Collector) add(s Span) {
-	if c.full {
-		c.spanDrops++
+	c.own()
+	if len(c.spans) < c.cap {
+		c.spans = append(c.spans, s)
+		c.next = len(c.spans) % c.cap
+		c.recorded++
+		return
 	}
+	c.spanDrops++
 	c.spans[c.next] = s
 	c.next++
 	if c.next == c.cap {
 		c.next = 0
-		c.full = true
 	}
 	c.recorded++
 }
@@ -199,6 +226,7 @@ func (c *Collector) Begin(at sim.Time, k SpanKind, socket, cpu int, label string
 	if c == nil {
 		return
 	}
+	c.own()
 	key := spanKey{kind: k, socket: socket, cpu: cpu}
 	if prev, ok := c.open[key]; ok {
 		c.add(Span{Kind: k, Socket: socket, CPU: cpu, Start: prev.start, End: at, Label: prev.label})
@@ -224,6 +252,7 @@ func (c *Collector) End(at sim.Time, k SpanKind, socket, cpu int) {
 	if !ok {
 		return
 	}
+	c.own()
 	delete(c.open, key)
 	c.add(Span{Kind: k, Socket: socket, CPU: cpu, Start: prev.start, End: at, Label: prev.label})
 }
@@ -233,9 +262,9 @@ func (c *Collector) Spans() []Span {
 	if c == nil {
 		return nil
 	}
-	if !c.full {
-		out := make([]Span, c.next)
-		copy(out, c.spans[:c.next])
+	if len(c.spans) < c.cap {
+		out := make([]Span, len(c.spans))
+		copy(out, c.spans)
 		return out
 	}
 	out := make([]Span, 0, c.cap)
@@ -274,10 +303,7 @@ func (c *Collector) SpanCount() int {
 	if c == nil {
 		return 0
 	}
-	if c.full {
-		return c.cap
-	}
-	return c.next
+	return len(c.spans)
 }
 
 // OpenCount returns the number of open episodes.

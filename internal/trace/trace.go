@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hswsim/internal/cow"
 	"hswsim/internal/sim"
 )
 
@@ -73,11 +74,17 @@ func (e Event) String() string {
 
 // Buffer is a bounded event recorder. A nil *Buffer is a valid no-op
 // recorder, so call sites need no guards.
+//
+// Storage grows by append up to the capacity and only then wraps as a
+// ring (write position next), so a buffer holds exactly what it has
+// recorded. The backing is copy-on-write across clones: Clone shares it
+// and bumps the fork generation; Emit copies out — only the used region
+// — before the first write after a share.
 type Buffer struct {
-	events []Event
-	next   int
-	full   bool
+	events []Event // len < cap: still filling; len == cap: wrapped ring
+	next   int     // write position once wrapped; == len(events)%cap while filling
 	cap    int
+	gen    cow.Stamp // ownership of the events backing
 	// drops counts events whose recording overwrote an older event —
 	// the ring is full and the oldest entry was lost. A truncated trace
 	// is legitimate (the ring is bounded by design) but must be
@@ -87,24 +94,45 @@ type Buffer struct {
 	Filter func(Event) bool
 }
 
-// New creates a ring buffer holding up to capacity events.
+// New creates a ring buffer holding up to capacity events. No storage
+// is allocated until the first event is recorded.
 func New(capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Buffer{events: make([]Event, capacity), cap: capacity}
+	b := &Buffer{cap: capacity}
+	b.gen.Own()
+	return b
 }
 
 // Clone returns an independent copy of the buffer with the same stored
 // events and ring position. Cloning a nil buffer returns nil. The
-// Filter function value is shared — filters must be stateless.
+// stored events are shared copy-on-write — an empty or lightly-used
+// buffer clones for free, and whichever side records next copies only
+// the used region out. The Filter function value is shared — filters
+// must be stateless.
 func (b *Buffer) Clone() *Buffer {
 	if b == nil {
 		return nil
 	}
+	cow.Bump()
 	c := *b
-	c.events = append([]Event(nil), b.events...)
 	return &c
+}
+
+// own runs the copy-on-write barrier: if the event storage may be
+// shared with a clone, replace it with a private copy of the used
+// region (same layout — next still indexes correctly).
+func (b *Buffer) own() {
+	if b.gen.Owned() {
+		return
+	}
+	if b.events != nil {
+		ne := make([]Event, len(b.events))
+		copy(ne, b.events)
+		b.events = ne
+	}
+	b.gen.Own()
 }
 
 // Emit records an event (no-op on a nil buffer).
@@ -115,14 +143,17 @@ func (b *Buffer) Emit(e Event) {
 	if b.Filter != nil && !b.Filter(e) {
 		return
 	}
-	if b.full {
-		b.drops++
+	b.own()
+	if len(b.events) < b.cap {
+		b.events = append(b.events, e)
+		b.next = len(b.events) % b.cap
+		return
 	}
+	b.drops++
 	b.events[b.next] = e
 	b.next++
 	if b.next == b.cap {
 		b.next = 0
-		b.full = true
 	}
 }
 
@@ -157,10 +188,7 @@ func (b *Buffer) Len() int {
 	if b == nil {
 		return 0
 	}
-	if b.full {
-		return b.cap
-	}
-	return b.next
+	return len(b.events)
 }
 
 // Events returns the stored events in chronological order.
@@ -168,9 +196,9 @@ func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
 	}
-	if !b.full {
-		out := make([]Event, b.next)
-		copy(out, b.events[:b.next])
+	if len(b.events) < b.cap {
+		out := make([]Event, len(b.events))
+		copy(out, b.events)
 		return out
 	}
 	out := make([]Event, 0, b.cap)

@@ -35,6 +35,52 @@ func TestRingOrdering(t *testing.T) {
 	}
 }
 
+func TestCloneCopiesOnlyUsedRegion(t *testing.T) {
+	b := New(4096)
+	for i := 0; i < 3; i++ {
+		b.Emit(Event{At: sim.Time(i), Kind: PStateGrant})
+	}
+	c := b.Clone()
+	// The clone shares the parent's backing lazily; its first write runs
+	// the copy-on-write barrier, which must copy only the 3 used entries,
+	// never the full 4096-slot capacity.
+	c.Emit(Event{At: 3, Kind: PStateGrant})
+	if got := cap(c.events); got >= b.cap {
+		t.Errorf("post-clone write copied a %d-cap backing; want a right-sized copy of the used region", got)
+	}
+	if b.Len() != 3 {
+		t.Errorf("parent Len = %d after clone write, want 3", b.Len())
+	}
+	if c.Len() != 4 {
+		t.Errorf("clone Len = %d, want 4", c.Len())
+	}
+	if ev := b.Events(); ev[len(ev)-1].At != 2 {
+		t.Errorf("parent saw the clone's event: %v", ev)
+	}
+	if ev := c.Events(); ev[len(ev)-1].At != 3 {
+		t.Errorf("clone lost its own event: %v", ev)
+	}
+	// The reverse direction shares too: a parent write must not reach an
+	// already-forked clone.
+	c2 := b.Clone()
+	b.Emit(Event{At: 9, Kind: PStateGrant})
+	if c2.Len() != 3 {
+		t.Errorf("clone Len = %d after parent write, want 3", c2.Len())
+	}
+}
+
+func TestCloneOfEmptyBufferIsFree(t *testing.T) {
+	b := New(4096)
+	c := b.Clone()
+	if c.events != nil {
+		t.Fatal("empty clone allocated storage")
+	}
+	c.Emit(Event{At: 1, Kind: PStateGrant})
+	if b.Len() != 0 || c.Len() != 1 {
+		t.Fatalf("Len parent=%d clone=%d, want 0/1", b.Len(), c.Len())
+	}
+}
+
 func TestTailAndOfKind(t *testing.T) {
 	b := New(16)
 	b.Emitf(1, PStateGrant, 0, 3, "a")
