@@ -29,17 +29,22 @@ bench-snapshot:
 	scripts/bench_snapshot.sh
 
 # bench-compare: perf-regression guard — fresh run diffed against the
-# committed BENCH_sim.json (ns/op within +/-25%, allocs/op exact).
+# committed BENCH_sim.json (ns/op within +/-25%; allocs/op exact for
+# lean benchmarks, +/-5% for batch fan-out benchmarks).
 bench-compare:
 	scripts/bench_snapshot.sh -compare
 
 # golden: the determinism gate in isolation — the full suite rendered
 # with forked-parallel sweep points must be byte-identical to the
-# strictly serial reference, and forked platforms must evolve
-# bitwise-identically to their parents, all under the race detector.
+# strictly serial reference, forked platforms must evolve
+# bitwise-identically to their parents, and a 256-node sharded fleet
+# study must render byte-identically to its serial reference, all under
+# the race detector.
 golden:
 	$(GO) test -race -run 'TestSuiteSerialVsParallelByteIdentical' ./internal/exp
 	$(GO) test -race -run 'TestFork|TestEngineFork' ./internal/core ./internal/sim
+	$(GO) test -race -run 'TestFleetStudySerialVsParallel$$' ./internal/exp
+	$(GO) test -race -run 'TestFleetSerialVsParallelIdentical|TestFleetRepeatable' ./internal/fleet
 
 # errgate: no silently discarded call results (`_ = f(...)`) outside
 # test files — dropped errors must be propagated or counted in obs.

@@ -9,7 +9,7 @@
 //	experiments -run ablations -report run.json
 //
 // Experiment ids: tab1 tab2 tab3 tab4 tab5 fig1 fig2 fig3 fig4 fig5
-// fig6 fig7 fig8 extensions catalog ablations.
+// fig6 fig7 fig8 extensions catalog ablations fleet.
 //
 // Experiments run concurrently on a shared process-wide slot pool
 // (one slot per GOMAXPROCS); output is buffered per experiment and
@@ -58,9 +58,11 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	runIDs := fs.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig8, extensions, catalog, ablations, all)")
+	runIDs := fs.String("run", "all", "comma-separated experiment ids (tab1..tab5, fig1..fig8, extensions, catalog, ablations, fleet, all)")
 	scale := fs.Float64("scale", 1.0, "effort scale: 1.0 = paper-fidelity durations/sample counts")
 	seed := fs.Uint64("seed", 0x5eed, "simulation seed")
+	fleetNodes := fs.Int("fleet-nodes", 0, "fleet study: max fleet size (0 = scale-derived, up to 4096)")
+	fleetSeed := fs.Uint64("fleet-seed", 0, "fleet study: manufacturing-variation seed (0 = -seed)")
 	csv := fs.Bool("csv", false, "emit CSV where the result is tabular")
 	cacheDir := fs.String("cache-dir", defaultCacheDir(), "result cache directory (empty disables caching)")
 	noCache := fs.Bool("no-cache", false, "bypass the result cache: run everything live and do not store results")
@@ -119,16 +121,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memProfileFile = f
 	}
 	code := runBody(runFlags{
-		runIDs:   *runIDs,
-		scale:    *scale,
-		seed:     *seed,
-		csv:      *csv,
-		cacheDir: *cacheDir,
-		noCache:  *noCache,
-		verbose:  *verbose,
-		report:   *reportPath,
-		prom:     *promPath,
-		traceVT:  *traceVT,
+		runIDs:     *runIDs,
+		scale:      *scale,
+		seed:       *seed,
+		fleetNodes: *fleetNodes,
+		fleetSeed:  *fleetSeed,
+		csv:        *csv,
+		cacheDir:   *cacheDir,
+		noCache:    *noCache,
+		verbose:    *verbose,
+		report:     *reportPath,
+		prom:       *promPath,
+		traceVT:    *traceVT,
 	}, fs, stdout, stderr)
 	if memProfileFile != nil {
 		if err := writeMemProfile(memProfileFile); err != nil {
@@ -153,22 +157,28 @@ func writeMemProfile(f *os.File) error {
 
 // runFlags carries the parsed request into runBody.
 type runFlags struct {
-	runIDs   string
-	scale    float64
-	seed     uint64
-	csv      bool
-	cacheDir string
-	noCache  bool
-	verbose  bool
-	report   string
-	prom     string
-	traceVT  string
+	runIDs     string
+	scale      float64
+	seed       uint64
+	fleetNodes int
+	fleetSeed  uint64
+	csv        bool
+	cacheDir   string
+	noCache    bool
+	verbose    bool
+	report     string
+	prom       string
+	traceVT    string
 }
 
 // runBody resolves the request and runs the suite — everything between
 // profile setup and profile teardown.
 func runBody(fl runFlags, fs *flag.FlagSet, stdout, stderr io.Writer) int {
-	o := exp.Options{Scale: fl.scale, Seed: fl.seed}
+	o := exp.Options{
+		Scale: fl.scale,
+		Seed:  fl.seed,
+		Fleet: exp.FleetOptions{Nodes: fl.fleetNodes, Seed: fl.fleetSeed},
+	}
 
 	// Resolve the request against the suite before anything runs: an
 	// unknown id anywhere in the list is an up-front error, not a

@@ -78,7 +78,8 @@ func BenchmarkSystemFork(b *testing.B) {
 
 // BenchmarkSystemForkedSweepPoint is one full sweep point as the
 // converted experiments run it: fork the warm parent, change the
-// operating point, advance a millisecond of virtual time.
+// operating point, advance a millisecond of virtual time, release the
+// child back to the free list (the production forkMap path).
 func BenchmarkSystemForkedSweepPoint(b *testing.B) {
 	sys := benchSystem(b)
 	spec := sys.Spec()
@@ -91,6 +92,7 @@ func BenchmarkSystemForkedSweepPoint(b *testing.B) {
 		}
 		child.SetPStateAll(spec.MinMHz)
 		child.Run(sim.Millisecond)
+		child.Release()
 	}
 }
 

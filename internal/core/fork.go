@@ -8,7 +8,6 @@ import (
 
 	"hswsim/internal/cow"
 	"hswsim/internal/obs"
-	"hswsim/internal/power"
 	"hswsim/internal/sim"
 )
 
@@ -41,6 +40,22 @@ func (p *forkPool) get() *System {
 	return c
 }
 
+// getN pops up to max released children in one lock acquisition.
+func (p *forkPool) getN(dst []*System, max int) int {
+	p.mu.Lock()
+	n := len(p.free)
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = p.free[len(p.free)-1-i]
+		p.free[len(p.free)-1-i] = nil
+	}
+	p.free = p.free[:len(p.free)-n]
+	p.mu.Unlock()
+	return n
+}
+
 func (p *forkPool) put(c *System) {
 	p.mu.Lock()
 	if len(p.free) < forkPoolMax {
@@ -69,17 +84,20 @@ func (s *System) Release() {
 // concurrently from one warmed-up platform.
 //
 // Mechanically, a fork is one cow.Bump plus struct copies: every
-// component is embedded by value in its socket/core shell, and every
-// internal slice or map (p-state transition rings, trace rings, meter
-// samples, residency bins, PCU bookkeeping, the MSR register file) is
-// stamped with a fork generation and copied lazily by the first write
-// on either side. The pending platform timers (per-socket PCU grid
-// tick, meter sample, in-flight p-state completions) are re-created
-// declaratively on the child engine with their original (time,
-// sequence) coordinates through the closure-free Handler path, so
-// re-arming allocates nothing. Released children (see Release) are
-// recycled from the tree's free list, making steady-state fork/Release
-// cycles allocation-free.
+// component is embedded by value in its socket/core shell, and the
+// remaining internal slices and maps (trace rings, meter samples, PCU
+// bookkeeping, the MSR register file) are stamped with a fork
+// generation and copied lazily by the first write on either side.
+// P-state transition rings and residency bins are instead privatized
+// eagerly into storage harvested from the recycled child — that
+// eager-privatization invariant is what makes harvesting sound (every
+// pooled child's backing is private by induction), and it is what
+// makes steady-state fork/Release cycles nearly allocation-free. The
+// pending platform timers (per-socket PCU grid tick, meter sample,
+// in-flight p-state completions) are re-created declaratively on the
+// child engine with their original (time, sequence) coordinates
+// through the closure-free Handler path, so re-arming allocates
+// nothing.
 //
 // Fork requires a quiescent platform: no events other than the
 // platform's own timers may be pending (experiment-level Every
@@ -93,18 +111,75 @@ func (s *System) Release() {
 // fork the same parent concurrently.
 func (s *System) Fork() (*System, error) {
 	start := time.Now()
+	if err := s.forkPrep(); err != nil {
+		return nil, err
+	}
+	n := s.pool.get()
+	reused := n != nil
+	if !reused {
+		n = s.newChildShells(1)[0]
+	}
+	// One generation bump freezes every copy-on-write backing shared
+	// below; individual Clone calls bump again, which is harmless.
+	cow.Bump()
+	s.populateFork(n, reused)
+
+	if reused {
+		obs.CoreForkReuse.Inc()
+	}
+	obs.CoreForkBytes.Add(s.forkCopiedBytes())
+	obs.CoreForkWall.Observe(time.Since(start).Nanoseconds())
+	return n, nil
+}
+
+// ForkN forks count children in one batch: recycled children are
+// drained from the free list in one lock acquisition, the remainder's
+// shells are slab-allocated together (one System/Socket/Core slab each
+// for the whole batch instead of per-child allocations), and a single
+// generation bump covers every child — one global-counter increment
+// per batch rather than per fork, with identical copy-on-write
+// semantics, since any bump stales every sharer and each first writer
+// copies out privately regardless of how many siblings the bump
+// created. This is the fan-out path for fleet-scale forking (see
+// internal/fleet); for a single child it is equivalent to Fork.
+func (s *System) ForkN(count int) ([]*System, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	if err := s.forkPrep(); err != nil {
+		return nil, err
+	}
+	out := make([]*System, count)
+	reusedN := s.pool.getN(out, count)
+	if reusedN < count {
+		copy(out[reusedN:], s.newChildShells(count-reusedN))
+	}
+	cow.Bump()
+	for i, n := range out {
+		s.populateFork(n, i < reusedN)
+	}
+	if reusedN > 0 {
+		obs.CoreForkReuse.Add(int64(reusedN))
+	}
+	obs.CoreForkBytes.Add(s.forkCopiedBytes() * int64(count))
+	obs.CoreForkWall.Observe(time.Since(start).Nanoseconds())
+	return out, nil
+}
+
+// forkPrep catches the parent's accounting up to now and inventories
+// the platform's own pending timers, so a foreign event is reported
+// before any child storage is touched.
+func (s *System) forkPrep() error {
 	if s.lastIntegrate != s.Engine.Now() {
 		// Catch-up path: mutates the parent, so it is only safe
 		// single-threaded. Quiescent systems never take it.
 		s.integrateTo(s.Engine.Now())
 	}
-
-	// Inventory the platform's own pending timers before touching the
-	// child, so a foreign event is reported instead of half-forked.
 	expected := 1 // meter sample
 	for _, sk := range s.sockets {
 		if !s.Engine.IsPending(sk.tickEv) {
-			return nil, fmt.Errorf("core: fork: socket %d grid tick not pending", sk.Index)
+			return fmt.Errorf("core: fork: socket %d grid tick not pending", sk.Index)
 		}
 		expected++
 		for _, c := range sk.cores {
@@ -114,46 +189,74 @@ func (s *System) Fork() (*System, error) {
 		}
 	}
 	if !s.Engine.IsPending(s.meterEv) {
-		return nil, fmt.Errorf("core: fork: meter sample event not pending")
+		return fmt.Errorf("core: fork: meter sample event not pending")
 	}
 	if pending := s.Engine.Pending(); pending != expected {
-		return nil, fmt.Errorf("core: fork: %d foreign events pending (cannot transplant their closures); fork only a quiescent platform",
+		return fmt.Errorf("core: fork: %d foreign events pending (cannot transplant their closures); fork only a quiescent platform",
 			pending-expected)
 	}
+	return nil
+}
 
-	// Acquire child storage: a recycled released child, or fresh slabs.
-	// Pool membership guarantees shape — the pool is only reachable from
-	// forks of this root, so a pooled child always has this root's
-	// socket/core geometry and layout.
-	n := s.pool.get()
-	reused := n != nil
+// newChildShells bulk-allocates count fresh child skeletons: the
+// System/Socket/Core structs and their pointer slices come from one
+// slab each for the whole batch, so a 1000-child fan-out costs six
+// slice allocations plus per-child MSR devices instead of six
+// allocations per child. Pool membership guarantees shape — the pool
+// is only reachable from forks of this root, so a pooled child always
+// has this root's socket/core geometry and layout; shells built here
+// enter the pool on Release and uphold the same guarantee.
+func (s *System) newChildShells(count int) []*System {
+	nsk := len(s.sockets)
+	totalCores := 0
+	for _, sk := range s.sockets {
+		totalCores += len(sk.cores)
+	}
+	sysSlab := make([]System, count)
+	sockSlab := make([]Socket, count*nsk)
+	coreSlab := make([]Core, count*totalCores)
+	sockPtrs := make([]*Socket, count*nsk)
+	corePtrs := make([]*Core, count*totalCores)
+	out := make([]*System, count)
+	ci := 0
+	for k := range sysSlab {
+		n := &sysSlab[k]
+		sockets := sockPtrs[k*nsk : (k+1)*nsk : (k+1)*nsk]
+		for i := 0; i < nsk; i++ {
+			sk := &sockSlab[k*nsk+i]
+			ncore := len(s.sockets[i].cores)
+			cores := corePtrs[ci : ci+ncore : ci+ncore]
+			for j := 0; j < ncore; j++ {
+				cores[j] = &coreSlab[ci+j]
+			}
+			ci += ncore
+			sk.cores = cores
+			sockets[i] = sk
+		}
+		n.sockets = sockets
+		n.msrDev = s.msrDev.Fork(n)
+		out[k] = n
+	}
+	return out
+}
+
+// populateFork overwrites child n (a recycled pooled child or a fresh
+// shell) with a fork of s. The caller must have run forkPrep and
+// cow.Bump first; one bump may cover a whole batch of populate calls.
+func (s *System) populateFork(n *System, reused bool) {
 	var eng *sim.Engine
 	if reused {
 		eng = n.Engine
 		eng.ResetToFork(s.Engine)
 	} else {
 		eng = s.Engine.Fork()
-		n = &System{}
-		sockets := make([]*Socket, len(s.sockets))
-		slab := make([]Socket, len(s.sockets))
-		for i := range slab {
-			sockets[i] = &slab[i]
-			coreSlab := make([]Core, len(s.sockets[i].cores))
-			cores := make([]*Core, len(coreSlab))
-			for j := range coreSlab {
-				cores[j] = &coreSlab[j]
-			}
-			sockets[i].cores = cores
-		}
-		n.sockets = sockets
-		n.msrDev = s.msrDev.Fork(n)
 	}
 	sockets := n.sockets
 	device := n.msrDev
-
-	// One generation bump freezes every copy-on-write backing shared
-	// below; individual Clone calls bump again, which is harmless.
-	cow.Bump()
+	// Harvest the old child's private System-level scratch before the
+	// overwrite (nil on a fresh shell; refreshPackageStates rewrites it
+	// through a cap check before any read).
+	statesBuf := n.statesBuf
 
 	*n = System{
 		Engine:        eng,
@@ -169,6 +272,7 @@ func (s *System) Fork() (*System, error) {
 		epb:           s.epb,
 		pool:          s.pool,
 		releaseTo:     s.pool,
+		statesBuf:     statesBuf,
 		trace:         s.trace.Clone(),
 	}
 	if reused {
@@ -200,13 +304,6 @@ func (s *System) Fork() (*System, error) {
 		}
 	}
 	n.meterEv = n.Engine.RearmHandler(s.meterEv, n, ncpu+len(s.sockets))
-
-	if reused {
-		obs.CoreForkReuse.Inc()
-	}
-	obs.CoreForkBytes.Add(s.forkCopiedBytes())
-	obs.CoreForkWall.Observe(time.Since(start).Nanoseconds())
-	return n, nil
 }
 
 // forkCopiedBytes estimates the bytes a fork copies eagerly: the
@@ -226,32 +323,67 @@ func (s *System) forkCopiedBytes() int64 {
 // forkInto clones this socket onto child-system storage with a struct
 // copy plus fixups. Immutable structure (spec, topology, cache/IMC
 // model) is shared by pointer; slice-backed component state rides the
-// copy as stale copy-on-write shares. The child starts with the
-// integration memo invalidated — its first segment runs the full path,
-// which the replay contract guarantees is bit-for-bit identical to
-// replaying the dropped memo.
+// copy as stale copy-on-write shares, except for the residency slab
+// and the p-state transition rings, which are privatized eagerly into
+// storage harvested from the recycled child. Eager privatization on
+// every fork is what makes the harvest sound: by induction every
+// pooled child's backing is private, so reusing it can never touch a
+// live sibling. The child starts with the integration memo
+// invalidated — its first segment runs the full path, which the replay
+// contract guarantees is bit-for-bit identical to replaying the
+// dropped memo.
 func (sk *Socket) forkInto(nk *Socket, sys *System) {
 	cores := nk.cores // preserve the child's own core storage
+	// Harvest the old child's private backings before the struct copy
+	// overwrites the pointers. All of these are private to the old
+	// child by construction: the scratch buffers and memo slices are
+	// (re)allocated by the child's own integration after forkInto nils
+	// or rewrites them, and the residency slab is seated below.
+	residSlab := nk.residSlab
+	oldMemo := nk.memo
+	loadsBuf, coresBuf, statesBuf, resultsBuf, telCores :=
+		nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores
+
 	*nk = *sk
 	nk.sys = sys
 	nk.cores = cores
 	// Events belong to the parent engine; Fork re-arms them explicitly.
 	nk.tickEv = sim.EventID{}
-	// Scratch and memo state is private, not COW: drop it rather than
-	// share backing slices with the parent.
+	// Scratch and memo state is private, not COW: reseat the harvested
+	// old-child storage in place of the parent's. Every one of these is
+	// rewritten through a cap check before its first read (the memo via
+	// ComputeMemoized on the forced-full first segment), so stale
+	// contents are unreachable.
 	nk.opDirty = true
 	nk.segValid = false
-	nk.memo = power.ComputeMemo{}
+	nk.memo = oldMemo
 	nk.Power.ResetScratch()
-	nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores = nil, nil, nil, nil, nil
+	nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores =
+		loadsBuf, coresBuf, statesBuf, resultsBuf, telCores
 	// Forked sockets count their own integration segments from zero.
 	nk.statReplay, nk.statFull = 0, 0
 	nk.statReplayFlushed, nk.statFullFlushed = 0, 0
 
+	// Residency: one contiguous slab per socket, eagerly copied from
+	// the parent so the per-segment add() path needs no barrier.
+	bins := residencyBins(sk.Spec)
+	need := len(cores) * bins
+	if cap(residSlab) >= need {
+		residSlab = residSlab[:need]
+	} else {
+		residSlab = make([]sim.Time, need)
+	}
+	nk.residSlab = residSlab
+
 	for j, c := range sk.cores {
 		nc := cores[j]
+		ring := nc.dom.DetachLog() // old child's private ring storage
 		*nc = *c
 		nc.sk = nk
 		nc.completeEv = sim.EventID{}
+		seg := residSlab[j*bins : (j+1)*bins : (j+1)*bins]
+		copy(seg, c.resid.pstate)
+		nc.resid.pstate = seg
+		nc.dom.ForkLogInto(ring)
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"hswsim/internal/cow"
 	"hswsim/internal/cstate"
 	"hswsim/internal/sim"
 	"hswsim/internal/uarch"
@@ -14,24 +13,21 @@ import (
 // residency accumulates per-core time in each frequency bin and each
 // c-state — the simulator's equivalent of the kernel's cpufreq-stats
 // and cpuidle sysfs accounting, and the raw material for duty-cycle
-// analysis of the PCU's behaviour. A plain struct copy shares the
-// p-state bins copy-on-write: the first add() after a fork copies them
-// out.
+// analysis of the PCU's behaviour. The p-state bins live in the
+// socket's residSlab (one contiguous allocation per socket, subsliced
+// per core) and are copied eagerly at fork time, so the hot add() path
+// is a plain indexed accumulate with no ownership barrier.
 type residency struct {
-	pstate []sim.Time // indexed by (MHz - min) / step
+	pstate []sim.Time // socket residSlab subslice, indexed by (MHz - min) / step
 	cstate [4]sim.Time
-	gen    cow.Stamp // ownership of the pstate backing
+}
+
+// residencyBins is the number of p-state bins per core.
+func residencyBins(spec *uarch.Spec) int {
+	return int((spec.MaxTurboMHz()-spec.MinMHz)/spec.PStateStep) + 1
 }
 
 func (r *residency) add(spec *uarch.Spec, f uarch.MHz, cs cstate.State, dt sim.Time) {
-	if r.pstate == nil {
-		bins := int((spec.MaxTurboMHz()-spec.MinMHz)/spec.PStateStep) + 1
-		r.pstate = make([]sim.Time, bins)
-		r.gen.Own()
-	} else if !r.gen.Owned() {
-		r.pstate = append([]sim.Time(nil), r.pstate...)
-		r.gen.Own()
-	}
 	if cs == cstate.C0 {
 		idx := int((f - spec.MinMHz) / spec.PStateStep)
 		if idx >= 0 && idx < len(r.pstate) {
@@ -137,10 +133,14 @@ func (s *System) CoreResidency(cpu int) Residency {
 	return out
 }
 
-// ResetResidency clears a CPU's accounting (measurement windows).
+// ResetResidency clears a CPU's accounting (measurement windows). The
+// bins are zeroed in place — the backing stays in the socket slab.
 func (s *System) ResetResidency(cpu int) {
 	if c := s.coreOf(cpu); c != nil {
 		s.integrateTo(s.Engine.Now())
-		c.resid = residency{}
+		for i := range c.resid.pstate {
+			c.resid.pstate[i] = 0
+		}
+		c.resid.cstate = [4]sim.Time{}
 	}
 }

@@ -37,7 +37,14 @@ type Socket struct {
 	uncoreCtr perfctr.Uncore
 	mbvr      fivr.MBVR
 
-	cores     []*Core
+	cores []*Core
+	// residSlab backs every core's p-state residency bins in one
+	// contiguous allocation (cores × residencyBins, subsliced with full
+	// capacity caps per core). It is always private to this socket:
+	// newSocket allocates it and forkInto eagerly copies the parent's
+	// slab into the child's own (recycled) one, which is what lets the
+	// residency add() hot path skip any copy-on-write barrier.
+	residSlab []sim.Time
 	pkgCState cstate.PkgState
 	// prevDeepState/leftDeepAt track a just-exited package sleep state
 	// so wakes arriving within the exit window still classify as
@@ -131,6 +138,11 @@ func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
 	offsets := fivr.CoreOffsets(spec.Cores, index, sys.cfg.Seed)
 	for i := 0; i < spec.Cores; i++ {
 		sk.cores = append(sk.cores, newCore(sk, i, offsets[i]))
+	}
+	bins := residencyBins(spec)
+	sk.residSlab = make([]sim.Time, spec.Cores*bins)
+	for i, c := range sk.cores {
+		c.resid.pstate = sk.residSlab[i*bins : (i+1)*bins : (i+1)*bins]
 	}
 	sk.opDirty = true
 	return sk

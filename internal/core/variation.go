@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ChipVariation is a manufacturing-variation overlay for one socket:
+// the silicon-lottery terms that make nominally identical parts draw
+// different power at the same operating point (Section III observes
+// exactly this between the two test processors, and the variation
+// literature measures it at cluster scale).
+//
+// Each field is a delta against the socket's present model, so an
+// overlay composes with the baked-in per-socket defaults (socket 0's
+// CeffScale 1.02, the per-core fivr offsets) rather than replacing
+// them. The zero value is a no-op.
+type ChipVariation struct {
+	// LeakScale multiplies the socket's leakage model. 1 (or 0) leaves
+	// it unchanged; 1.2 is a leaky part that pays 20% more static power
+	// at every voltage/temperature point.
+	LeakScale float64
+	// CeffScale multiplies the socket's effective-capacitance scale:
+	// >1 burns more dynamic power for the same work.
+	CeffScale float64
+	// VminOffsetV shifts every voltage domain on the socket (cores and
+	// uncore) by a constant: a part that needs more voltage for the
+	// same frequency. Volts.
+	VminOffsetV float64
+}
+
+// ApplyChipVariation overlays v onto socket index. It must be called
+// at a quiescent instant — typically right after Fork, before the
+// child runs — because it re-seats voltage rails in place rather than
+// modelling a transition. Accounting is integrated up to now first, so
+// the variation affects only simulated time after the call.
+//
+// The overlay changes physics (power at a given operating point), not
+// event timing: regulator jitter streams are not consumed, so a varied
+// child stays event-for-event aligned with an unvaried sibling until
+// RAPL reacts to the different power draw.
+func (s *System) ApplyChipVariation(socket int, v ChipVariation) error {
+	if socket < 0 || socket >= len(s.sockets) {
+		return fmt.Errorf("core: ApplyChipVariation: socket %d out of range [0,%d)", socket, len(s.sockets))
+	}
+	s.integrateTo(s.Engine.Now())
+	sk := s.sockets[socket]
+	if v.LeakScale > 0 {
+		if sk.Power.LeakScale == 0 {
+			sk.Power.LeakScale = 1
+		}
+		sk.Power.LeakScale *= v.LeakScale
+	}
+	if v.CeffScale > 0 {
+		sk.Power.CeffScale *= v.CeffScale
+	}
+	if v.VminOffsetV != 0 {
+		for _, c := range sk.cores {
+			f := c.dom.Granted()
+			if t, inFlight := c.dom.InFlight(); inFlight {
+				f = t
+			}
+			c.reg.Rebias(v.VminOffsetV, f)
+		}
+		sk.uncoreReg.Rebias(v.VminOffsetV, sk.uncoreMHz)
+	}
+	sk.markDirty()
+	return nil
+}

@@ -21,6 +21,12 @@ type Options struct {
 	Scale float64
 	Seed  uint64
 
+	// Fleet configures the fleet variation study. Zero values defer to
+	// scale-derived sizing and the suite seed; the struct is part of
+	// the cache key via %#v, so any fleet override keys its own cache
+	// entries.
+	Fleet FleetOptions
+
 	// traceExp carries the experiment id into newSystem while a span
 	// trace is being captured (set by runOne, never by callers). It is
 	// part of the cache key via %#v, which is intentional: traced runs

@@ -28,7 +28,7 @@ var parallelWorkers = 0
 // oversubscribing the machine — and what makes the nesting
 // deadlock-free: the caller never waits on a slot.
 func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
-	workers := sched.slots()
+	workers := sched.Cap()
 	if parallelWorkers > 0 {
 		workers = parallelWorkers
 	}
@@ -64,20 +64,16 @@ func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			select {
-			case sched.c <- struct{}{}:
-				obs.SchedSlotAcquires.Inc()
-				obs.SchedSlotsBusy.Add(1)
-				helperEnd := wallSpan("slot", "helper")
-				work()
-				if helperEnd != nil {
-					helperEnd()
-				}
-				<-sched.c
-				obs.SchedSlotsBusy.Add(-1)
-			case <-done:
+			if !sched.AcquireOr(done) {
 				// The map drained before a slot freed up; nothing left.
+				return
 			}
+			helperEnd := wallSpan("slot", "helper")
+			work()
+			if helperEnd != nil {
+				helperEnd()
+			}
+			sched.Release()
 		}()
 	}
 	work()

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports that this test binary was built with the race
+// detector; the heaviest fleet tests skip themselves under it.
+const raceEnabled = true

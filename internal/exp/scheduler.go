@@ -1,65 +1,12 @@
 package exp
 
-import (
-	"runtime"
-	"time"
+import "hswsim/internal/slots"
 
-	"hswsim/internal/obs"
-)
-
-// slotPool is the process-wide bounded compute scheduler: a semaphore
-// over "compute slots", one per GOMAXPROCS. Both concurrency levels of
-// a suite run share it — RunSuite holds one slot per in-flight
-// experiment, and parallelMap's helper workers each hold one slot while
-// they participate in a point sweep — so the machine stays saturated
-// without oversubscription regardless of how the two levels interleave.
-//
-// Deadlock freedom: parallelMap never blocks the calling goroutine on a
-// slot. The caller always works through items on whatever slot it
-// already holds (the suite-level one, when called from inside an
-// experiment), and only the extra helpers wait for free slots. A helper
-// blocked on a full pool is released as soon as its map drains, so no
-// cycle of waiters can form.
-//
-// Every acquisition is reported to obs (count, busy gauge, and — when
-// the pool was full — the wall time spent waiting), which is how a run
-// report shows whether the machine was slot-starved. The fast path pays
-// two atomic adds; only a contended acquire reads the wall clock.
-type slotPool struct {
-	c chan struct{}
-}
-
-func newSlotPool(n int) *slotPool {
-	if n < 1 {
-		n = 1
-	}
-	obs.SchedSlots.Set(int64(n))
-	return &slotPool{c: make(chan struct{}, n)}
-}
-
-// acquire blocks until a compute slot is free.
-func (p *slotPool) acquire() {
-	select {
-	case p.c <- struct{}{}:
-	default:
-		start := time.Now()
-		p.c <- struct{}{}
-		wait := time.Since(start).Nanoseconds()
-		obs.SchedSlotWaitNS.Add(wait)
-		obs.SchedSlotWait.Observe(wait)
-	}
-	obs.SchedSlotAcquires.Inc()
-	obs.SchedSlotsBusy.Add(1)
-}
-
-// release returns a held slot.
-func (p *slotPool) release() {
-	<-p.c
-	obs.SchedSlotsBusy.Add(-1)
-}
-
-// slots returns the pool capacity.
-func (p *slotPool) slots() int { return cap(p.c) }
-
-// sched is the scheduler every experiment in this process shares.
-var sched = newSlotPool(runtime.GOMAXPROCS(0))
+// sched is the process-wide compute-slot pool every experiment shares
+// (see internal/slots). Both concurrency levels of a suite run draw on
+// it — RunSuite holds one slot per in-flight experiment, parallelMap's
+// helper workers each hold one while they participate in a point sweep
+// — and the fleet driver's sharded node stepping joins on the same
+// pool, so the machine stays saturated without oversubscription
+// regardless of how the levels interleave.
+var sched = slots.Default()

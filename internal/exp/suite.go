@@ -199,6 +199,13 @@ var suite = []Descriptor{
 		}
 		return nil
 	}},
+	{ID: "fleet", Title: "Fleet-scale manufacturing variation: tail slowdown vs fleet size", Run: func(o Options, w io.Writer, csv bool) error {
+		_, t, err := FleetVariationStudy(o)
+		if err != nil {
+			return err
+		}
+		return writeRendered(w, t, csv)
+	}},
 }
 
 // Suite returns the experiment table in canonical order.
@@ -250,7 +257,7 @@ type SuiteResult struct {
 //
 // Each experiment holds one compute slot while it runs; point-level
 // parallelMap work inside an experiment interleaves on the same pool
-// (see slotPool). With parallelWorkers == 1 the suite degrades to a
+// (see internal/slots). With parallelWorkers == 1 the suite degrades to a
 // strictly sequential in-order loop — the determinism reference.
 func RunSuite(ids []string, o Options, csv bool, cache Cache, emit func(SuiteResult)) {
 	if parallelWorkers == 1 {
@@ -294,14 +301,14 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 		}
 	}
 	expEnd := wallSpan("experiment", id)
-	sched.acquire()
+	sched.Acquire()
 	slotEnd := wallSpan("slot", id)
 	var buf bytes.Buffer
 	err := d.Run(o, &buf, csv)
 	if slotEnd != nil {
 		slotEnd()
 	}
-	sched.release()
+	sched.Release()
 	if expEnd != nil {
 		expEnd()
 	}

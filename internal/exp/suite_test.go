@@ -70,7 +70,7 @@ func clip(b []byte, at int) string {
 func TestSuiteCanonicalOrder(t *testing.T) {
 	wantOrder := []string{"tab1", "tab2", "tab3", "tab4", "tab5",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"extensions", "catalog", "ablations"}
+		"extensions", "catalog", "ablations", "fleet"}
 	s := Suite()
 	if len(s) != len(wantOrder) {
 		t.Fatalf("suite has %d experiments, want %d", len(s), len(wantOrder))

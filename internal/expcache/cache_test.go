@@ -147,3 +147,39 @@ func TestBuildIDStable(t *testing.T) {
 		t.Fatal("Open derives different build ids in one process")
 	}
 }
+
+// TestFleetOptionsKeyed is the collision regression for the fleet
+// fields: options differing only in a fleet override must never share
+// a cache entry — a stale hit would replay a differently-sized (or
+// differently-seeded) fleet's table as if it were the requested one.
+func TestFleetOptionsKeyed(t *testing.T) {
+	d := open(t)
+	base := exp.Options{Scale: 0.25, Seed: 0x5eed}
+	out := []byte("fleet table\n")
+	if err := d.Put("fleet", base, false, out); err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]exp.Options{
+		"node count": {Scale: 0.25, Seed: 0x5eed, Fleet: exp.FleetOptions{Nodes: 256}},
+		"fleet seed": {Scale: 0.25, Seed: 0x5eed, Fleet: exp.FleetOptions{Seed: 0xbeef}},
+		"leak sigma": {Scale: 0.25, Seed: 0x5eed, Fleet: exp.FleetOptions{LeakSigma: 0.2}},
+		"ceff sigma": {Scale: 0.25, Seed: 0x5eed, Fleet: exp.FleetOptions{CeffSigma: 0.1}},
+		"vmin sigma": {Scale: 0.25, Seed: 0x5eed, Fleet: exp.FleetOptions{VminSigmaV: 0.02}},
+	}
+	for name, o := range variants {
+		if _, ok := d.Get("fleet", o, false); ok {
+			t.Errorf("%s not part of the cache key: stale hit", name)
+		}
+	}
+	// And each variant round-trips under its own key.
+	o := variants["node count"]
+	if err := d.Put("fleet", o, false, []byte("256-node table\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get("fleet", o, false); !ok || string(got) != "256-node table\n" {
+		t.Fatalf("variant round-trip failed: %q, %v", got, ok)
+	}
+	if got, _ := d.Get("fleet", base, false); string(got) != string(out) {
+		t.Fatalf("base entry clobbered by variant: %q", got)
+	}
+}

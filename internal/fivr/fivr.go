@@ -87,6 +87,18 @@ func (r *Regulator) SetFrequency(f uarch.MHz) sim.Time {
 // Offset returns the part-to-part offset baked into this domain.
 func (r *Regulator) Offset() float64 { return r.offset }
 
+// Rebias shifts the domain's part-to-part offset by dv and re-derives
+// the present output voltage for the operating frequency f, without
+// consuming a jitter draw. Manufacturing-variation overlays
+// (core.System.ApplyChipVariation) use it to re-seat a forked chip's
+// V/f curve at a quiescent instant; the jitter stream stays aligned
+// with the unvaried platform, so variation changes only physics, not
+// event timing draws.
+func (r *Regulator) Rebias(dv float64, f uarch.MHz) {
+	r.offset += dv
+	r.volts = r.VoltageFor(f)
+}
+
 // MBVRState is a mainboard regulator power state (Section II-B: "the
 // MBVR supports three different power states which are activated by the
 // processor according to the estimated power consumption").

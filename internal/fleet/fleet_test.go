@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"hswsim/internal/core"
+	"hswsim/internal/sim"
+	"hswsim/internal/workload"
+)
+
+// warmParent builds the default dual-socket node loaded with
+// FIRESTARTER at turbo and lets transients decay — the fleet template.
+func warmParent(t testing.TB) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		if err := sys.AssignKernel(cpu, workload.Firestarter(), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.RequestTurbo()
+	sys.Run(20 * sim.Millisecond)
+	return sys
+}
+
+func TestDrawDeterministicAndDistinct(t *testing.T) {
+	p := DefaultParams()
+	a := Draw(0x5eed, 3, 1, p)
+	b := Draw(0x5eed, 3, 1, p)
+	if a != b {
+		t.Fatalf("same (seed,node,socket) drew different chips: %+v vs %+v", a, b)
+	}
+	if a == Draw(0x5eed, 4, 1, p) {
+		t.Errorf("distinct nodes drew identical chips")
+	}
+	if a == Draw(0x5eed, 3, 0, p) {
+		t.Errorf("distinct sockets drew identical chips")
+	}
+	if a == Draw(0xbeef, 3, 1, p) {
+		t.Errorf("distinct seeds drew identical chips")
+	}
+	if a.LeakScale <= 0 || a.CeffScale <= 0 {
+		t.Errorf("scales must be positive: %+v", a)
+	}
+	// Disabling one term must not reshuffle the others.
+	noLeak := Draw(0x5eed, 3, 1, Params{LeakSigma: -1, CeffSigma: p.CeffSigma, VminSigmaV: p.VminSigmaV})
+	if noLeak.LeakScale != 1 {
+		t.Errorf("disabled leak term: LeakScale = %v, want 1", noLeak.LeakScale)
+	}
+	if noLeak.CeffScale != a.CeffScale || noLeak.VminOffsetV != a.VminOffsetV {
+		t.Errorf("disabling leak reshuffled other draws: %+v vs %+v", noLeak, a)
+	}
+}
+
+// TestFleetSerialVsParallelIdentical pins the core determinism claim:
+// a Workers=1 fleet and a fully parallel fleet with the same seed
+// produce bit-identical per-node results, in the same order.
+func TestFleetSerialVsParallelIdentical(t *testing.T) {
+	parent := warmParent(t)
+	cfg := Config{Nodes: 48, Seed: 0x5eed, CapW: 85}
+
+	run := func(workers int) []NodeResult {
+		c := cfg
+		c.Workers = workers
+		fl, err := New(parent, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fl.Release()
+		fl.Step(2 * sim.Millisecond)
+		return fl.Measure(sim.Millisecond, 2*sim.Millisecond)
+	}
+	serial := run(1)
+	parallel := run(0)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("node %d diverged: serial %+v, parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestFleetRepeatable pins fork-pool hygiene: building the same fleet
+// twice from one parent — the second time entirely from recycled
+// children — yields identical results.
+func TestFleetRepeatable(t *testing.T) {
+	parent := warmParent(t)
+	cfg := Config{Nodes: 32, Seed: 0x1234, CapW: 85, Workers: 1}
+	run := func() []NodeResult {
+		fl, err := New(parent, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fl.Release()
+		return fl.Measure(sim.Millisecond, 2*sim.Millisecond)
+	}
+	first := run()
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("node %d differs across repetitions: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestFleetSeedsDistinct pins that different seeds draw statistically
+// distinct fleets, while disabling variation collapses the spread.
+func TestFleetSeedsDistinct(t *testing.T) {
+	parent := warmParent(t)
+	run := func(seed uint64, p Params) []NodeResult {
+		fl, err := New(parent, Config{Nodes: 24, Seed: seed, Params: p, CapW: 85})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fl.Release()
+		return fl.Measure(sim.Millisecond, 2*sim.Millisecond)
+	}
+	a := run(0x5eed, Params{})
+	b := run(0xbeef, Params{})
+	differ := 0
+	for i := range a {
+		if a[i].PkgW != b[i].PkgW {
+			differ++
+		}
+	}
+	if differ < len(a)/2 {
+		t.Errorf("distinct seeds: only %d/%d nodes differ in power", differ, len(a))
+	}
+
+	// A varied fleet must show per-node power spread; an unvaried one
+	// (all terms disabled) must not.
+	spread := func(rs []NodeResult) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range rs {
+			lo, hi = math.Min(lo, r.PkgW), math.Max(hi, r.PkgW)
+		}
+		return hi - lo
+	}
+	if s := spread(a); s <= 0 {
+		t.Errorf("varied fleet has zero power spread")
+	}
+	flat := run(0x5eed, Params{LeakSigma: -1, CeffSigma: -1, VminSigmaV: -1})
+	if s := spread(flat); s != 0 {
+		t.Errorf("unvaried fleet has power spread %v, want 0", s)
+	}
+}

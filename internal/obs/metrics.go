@@ -44,6 +44,18 @@ var (
 		"distribution of time spent waiting for a compute slot",
 		[]int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000,
 			100_000_000, 1_000_000_000, 10_000_000_000})
+	SchedSteals = std.Counter("sched_shard_steals_total",
+		"sharded fan-out work items claimed from another worker's shard")
+
+	// Fleet driver: batch fork fan-out volume and round latency.
+	FleetNodes = std.Counter("fleet_nodes_forked_total",
+		"fleet nodes forked (and varied) from a warmed parent platform")
+	FleetSteps = std.Counter("fleet_node_steps_total",
+		"per-node fleet step operations executed")
+	FleetWall = std.Histogram("fleet_round_wall_ns",
+		"wall-clock latency of one parallel fleet round (fan-out or whole-fleet step)",
+		[]int64{100_000, 1_000_000, 10_000_000, 100_000_000,
+			1_000_000_000, 10_000_000_000, 60_000_000_000})
 
 	// Experiments: per-id run counts and point-sweep volume.
 	ExpRuns = std.CounterVec("exp_runs_total",

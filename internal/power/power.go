@@ -60,6 +60,11 @@ type PackageModel struct {
 	// more for the same work (the paper's processor 0 sustains lower
 	// turbo than processor 1).
 	CeffScale float64
+	// LeakScale models chip-to-chip leakage spread (the dominant
+	// manufacturing-variation term): >1 leaks more at the same voltage
+	// and temperature. Zero is treated as the nominal 1 so struct-copied
+	// and zero-valued models keep their pre-variation behaviour.
+	LeakScale float64
 	// AmbientC is the inlet temperature.
 	AmbientC float64
 
@@ -74,7 +79,7 @@ func NewPackageModel(pm *uarch.PowerModel, ceffScale, ambientC float64) *Package
 	if ceffScale <= 0 {
 		ceffScale = 1
 	}
-	return &PackageModel{PM: pm, CeffScale: ceffScale, AmbientC: ambientC, tempC: ambientC}
+	return &PackageModel{PM: pm, CeffScale: ceffScale, LeakScale: 1, AmbientC: ambientC, tempC: ambientC}
 }
 
 // Clone returns an independent copy of the model at the same die
@@ -215,8 +220,12 @@ func (p *PackageModel) Replay(memo *ComputeMemo) Breakdown {
 
 // leakBase is one core's leakage at temperature factor 1.
 func (p *PackageModel) leakBase(volts float64) float64 {
+	ls := p.LeakScale
+	if ls == 0 {
+		ls = 1
+	}
 	vr := volts / p.PM.VNom
-	return p.PM.LeakPerCore * vr * vr
+	return p.PM.LeakPerCore * ls * vr * vr
 }
 
 func (p *PackageModel) leak(volts, tempFactor float64) float64 {

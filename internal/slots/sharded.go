@@ -1,0 +1,144 @@
+package slots
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hswsim/internal/obs"
+)
+
+// shard is one worker's claimable index range, a packed atomic cursor:
+// the next unclaimed index in the high 32 bits, the exclusive end in
+// the low 32. One CAS claims a batch; padding keeps neighbouring
+// shards off each other's cache line.
+type shard struct {
+	cur atomic.Uint64
+	_   [56]byte
+}
+
+func pack(next, end uint32) uint64 { return uint64(next)<<32 | uint64(end) }
+
+func unpack(v uint64) (next, end uint32) { return uint32(v >> 32), uint32(v) }
+
+// take claims up to maxBatch consecutive indices, returning the
+// half-open claimed range.
+func (sh *shard) take(maxBatch uint32) (lo, hi uint32, ok bool) {
+	for {
+		v := sh.cur.Load()
+		next, end := unpack(v)
+		if next >= end {
+			return 0, 0, false
+		}
+		b := end - next
+		if b > maxBatch {
+			b = maxBatch
+		}
+		if sh.cur.CompareAndSwap(v, pack(next+b, end)) {
+			return next, next + b, true
+		}
+	}
+}
+
+// remaining returns how many indices are still unclaimed.
+func (sh *shard) remaining() uint32 {
+	next, end := unpack(sh.cur.Load())
+	if next >= end {
+		return 0
+	}
+	return end - next
+}
+
+// shardBatch bounds one CAS claim: large enough to amortize the atomic
+// over several work items, small enough that the tail of an uneven run
+// still spreads across workers via stealing.
+const shardBatch = 8
+
+// Sharded runs fn(i) for every i in [0, n), fanned out across up to
+// workers goroutines (workers <= 0 selects the pool capacity). The
+// index space is split into one contiguous shard per worker; each
+// worker claims batches from its own shard with a single CAS and, once
+// dry, steals batches from the fullest remaining shard — so a thousand
+// independent node-steps never serialize on one channel or one shared
+// counter.
+//
+// The calling goroutine always participates without acquiring a slot
+// (it works on whatever slot it already holds, per the package's
+// deadlock rule); helpers join only after acquiring a slot of their
+// own, and a helper still waiting when the work drains is released
+// without running. Sharded returns when every index has been processed.
+//
+// fn must be safe to call concurrently for distinct indices. Results
+// written to index-addressed storage make the fan-out order-independent
+// and therefore deterministic.
+func (p *Pool) Sharded(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = p.Cap()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	shards := make([]shard, workers)
+	per, rem := n/workers, n%workers
+	lo := 0
+	for i := range shards {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		shards[i].cur.Store(pack(uint32(lo), uint32(hi)))
+		lo = hi
+	}
+	work := func(self int) {
+		for {
+			blo, bhi, ok := shards[self].take(shardBatch)
+			if !ok {
+				// Own shard dry: steal a batch from the fullest shard.
+				best, bestRem := -1, uint32(0)
+				for j := range shards {
+					if j == self {
+						continue
+					}
+					if r := shards[j].remaining(); r > bestRem {
+						best, bestRem = j, r
+					}
+				}
+				if best < 0 {
+					return
+				}
+				blo, bhi, ok = shards[best].take(shardBatch)
+				if !ok {
+					continue // lost the race; rescan
+				}
+				obs.SchedSteals.Add(int64(bhi - blo))
+			}
+			for i := blo; i < bhi; i++ {
+				fn(int(i))
+			}
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for h := 1; h < workers; h++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if !p.AcquireOr(done) {
+				return
+			}
+			work(id)
+			p.Release()
+		}(h)
+	}
+	work(0)
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+// Package slots is the process-wide bounded compute scheduler: a
+// semaphore over "compute slots", one per GOMAXPROCS. Every concurrency
+// level in the process shares one pool — the experiment suite holds one
+// slot per in-flight experiment, point-sweep helpers each hold one while
+// they participate, and the fleet driver's sharded node stepping joins
+// on the same terms — so the machine stays saturated without
+// oversubscription regardless of how the levels interleave.
+//
+// Deadlock freedom: callers that fan work out never block their own
+// goroutine on a slot. The caller always works through items on
+// whatever slot it already holds (the suite-level one, when called from
+// inside an experiment), and only extra helpers wait for free slots
+// (AcquireOr, which gives up as soon as the work drains), so no cycle
+// of waiters can form.
+//
+// Every acquisition is reported to obs (count, busy gauge, and — when
+// the pool was full — the wall time spent waiting), which is how a run
+// report shows whether the machine was slot-starved. The fast path pays
+// two atomic adds; only a contended acquire reads the wall clock.
+package slots
+
+import (
+	"runtime"
+	"time"
+
+	"hswsim/internal/obs"
+)
+
+// Pool is a bounded set of compute slots.
+type Pool struct {
+	c chan struct{}
+}
+
+// New builds a pool with n slots (minimum 1).
+func New(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{c: make(chan struct{}, n)}
+}
+
+// def is the shared process-wide pool, sized to GOMAXPROCS.
+var def = func() *Pool {
+	p := New(runtime.GOMAXPROCS(0))
+	obs.SchedSlots.Set(int64(p.Cap()))
+	return p
+}()
+
+// Default returns the pool every experiment and fleet driver in this
+// process shares.
+func Default() *Pool { return def }
+
+// Cap returns the pool capacity.
+func (p *Pool) Cap() int { return cap(p.c) }
+
+// Acquire blocks until a compute slot is free.
+func (p *Pool) Acquire() {
+	select {
+	case p.c <- struct{}{}:
+	default:
+		start := time.Now()
+		p.c <- struct{}{}
+		wait := time.Since(start).Nanoseconds()
+		obs.SchedSlotWaitNS.Add(wait)
+		obs.SchedSlotWait.Observe(wait)
+	}
+	obs.SchedSlotAcquires.Inc()
+	obs.SchedSlotsBusy.Add(1)
+}
+
+// AcquireOr waits for a slot unless done closes first, reporting
+// whether a slot was acquired. Helpers joining a drained-any-moment fan
+// out use it so a blocked helper is released the instant the work ends.
+func (p *Pool) AcquireOr(done <-chan struct{}) bool {
+	select {
+	case p.c <- struct{}{}:
+		obs.SchedSlotAcquires.Inc()
+		obs.SchedSlotsBusy.Add(1)
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// Release returns a held slot.
+func (p *Pool) Release() {
+	<-p.c
+	obs.SchedSlotsBusy.Add(-1)
+}

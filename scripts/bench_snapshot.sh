@@ -11,8 +11,12 @@
 # Compare mode diffs a fresh run against the committed snapshot instead
 # of overwriting it: ns/op must stay within the tolerance (default
 # +/-25%, override with BENCH_TOL=0.40 etc.), allocs/op must match
-# exactly, and every benchmark in the snapshot must still exist. Exits
-# nonzero on any regression — `make ci` runs this as its perf gate.
+# exactly for lean benchmarks (reference < 32 allocs/op — the hot paths
+# whose contract is an exact, usually zero, count), batch benchmarks
+# above that get +/-5% (amortized slice growth divided by b.N rounds
+# differently between runs), and every benchmark in the snapshot must
+# still exist. Exits nonzero on any regression — `make ci` runs this as
+# its perf gate.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -37,7 +41,7 @@ if [ "$mode" = "compare" ]; then
 fi
 
 go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" \
-	./internal/sim ./internal/core | tee "$tmp"
+	./internal/sim ./internal/core ./internal/fleet | tee "$tmp"
 
 awk -v benchtime="$benchtime" '
 /^pkg:/ { pkg = $2 }
@@ -71,7 +75,7 @@ if [ "$mode" = "snapshot" ]; then
 fi
 
 echo ""
-echo "comparing against $ref (ns/op tolerance +/-$tol, allocs/op exact)"
+echo "comparing against $ref (ns/op tolerance +/-$tol, allocs/op exact below 32, else +/-5%)"
 awk -v tol="$tol" '
 function field(line, key,   re, s) {
 	re = "\"" key "\": \"?[^,}\"]*"
@@ -97,8 +101,14 @@ function field(line, key,   re, s) {
 		next
 	}
 	ratio = refns[k] > 0 ? ns / refns[k] : 1
+	# Lean benchmarks pin an exact alloc count; batch benchmarks
+	# (>= 32 allocs/op reference) amortize slice growth over b.N and
+	# legitimately round +/-1-2 between runs, so they get 5% slack.
+	albad = (al != refal[k])
+	if (albad && refal[k] >= 32 && al <= refal[k] * 1.05 && al >= refal[k] * 0.95)
+		albad = 0
 	status = "ok"
-	if (al != refal[k]) {
+	if (albad) {
 		status = "FAIL"; why = sprintf("allocs %d != %d", al, refal[k]); fail++
 	} else if (ratio > 1 + tol) {
 		status = "FAIL"; why = sprintf("%.0f%% slower", (ratio - 1) * 100); fail++
