@@ -58,8 +58,26 @@ errgate:
 tracegate:
 	scripts/tracegate.sh
 
-# ci: the full gate — vet, the discarded-error and raw-buffer greps,
-# race-enabled tests (includes the suite scheduler determinism test),
-# benchmark smoke, perf regression diff, and the
-# serial-vs-forked-parallel golden comparison.
-ci: vet errgate tracegate race bench bench-compare golden
+# ci: the full gate, run as ordered named steps so a failure points at
+# the gate that tripped (a wheel concurrency bug should surface as
+# "race-full failed", not a generic test error) — vet, the
+# discarded-error and raw-buffer greps, the race-enabled full test
+# suite (includes the suite scheduler determinism test), benchmark
+# smoke, perf regression diff, and the serial-vs-forked-parallel golden
+# comparison.
+ci:
+	@echo "==> ci step 1/7: vet"
+	@$(MAKE) --no-print-directory vet || { echo "ci: gate 'vet' failed — go vet ./... reported issues" >&2; exit 1; }
+	@echo "==> ci step 2/7: errgate"
+	@$(MAKE) --no-print-directory errgate || { echo "ci: gate 'errgate' failed — discarded call result outside tests" >&2; exit 1; }
+	@echo "==> ci step 3/7: tracegate"
+	@$(MAKE) --no-print-directory tracegate || { echo "ci: gate 'tracegate' failed — raw trace.Buffer use outside internal/trace" >&2; exit 1; }
+	@echo "==> ci step 4/7: race-full"
+	@$(MAKE) --no-print-directory race || { echo "ci: gate 'race-full' failed — data race or test failure under -race" >&2; exit 1; }
+	@echo "==> ci step 5/7: bench smoke"
+	@$(MAKE) --no-print-directory bench || { echo "ci: gate 'bench' failed — a benchmark harness no longer runs" >&2; exit 1; }
+	@echo "==> ci step 6/7: bench-compare"
+	@$(MAKE) --no-print-directory bench-compare || { echo "ci: gate 'bench-compare' failed — perf regression against BENCH_sim.json" >&2; exit 1; }
+	@echo "==> ci step 7/7: golden"
+	@$(MAKE) --no-print-directory golden || { echo "ci: gate 'golden' failed — serial vs parallel output diverged" >&2; exit 1; }
+	@echo "ci: all gates passed"

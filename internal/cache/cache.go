@@ -146,9 +146,11 @@ func (m *Model) SolveInto(dst []CoreResult, loads []CoreLoad, uncoreGHz float64)
 	} else {
 		res = make([]CoreResult, len(loads))
 	}
-	// Pass 1: per-core latency/MLP limits.
-	for i, ld := range loads {
-		res[i] = m.solveCore(ld, uncoreGHz)
+	// Pass 1: per-core latency/MLP limits. Loads are passed by pointer:
+	// a CoreLoad embeds the 96-byte Profile and the copies dominate the
+	// solver's cost at fleet scale.
+	for i := range loads {
+		res[i] = m.solveCore(&loads[i], uncoreGHz)
 	}
 	// Pass 2: shared-resource capacity. Scale memory-traffic cores by a
 	// common factor when aggregate demand exceeds capacity (fair
@@ -157,8 +159,8 @@ func (m *Model) SolveInto(dst []CoreResult, loads []CoreLoad, uncoreGHz float64)
 	return res
 }
 
-func (m *Model) solveCore(ld CoreLoad, uncoreGHz float64) CoreResult {
-	p := ld.Prof
+func (m *Model) solveCore(ld *CoreLoad, uncoreGHz float64) CoreResult {
+	p := &ld.Prof
 	ipc := p.IPC1
 	if ld.Threads >= 2 {
 		ipc = p.IPC2
@@ -226,11 +228,11 @@ func (m *Model) applyCapacity(loads []CoreLoad, res []CoreResult, uncoreGHz floa
 	if capQPI := m.Spec.Mem.QPIGBs; capQPI > 0 && remoteDemand > capQPI {
 		scale := capQPI / remoteDemand
 		for i := range res {
-			p := loads[i].Prof
+			p := &loads[i].Prof
 			if p.MemBytesPerInst > 0 && p.RemoteMemFrac > 0 {
 				// Only the remote share slows down.
 				remoteScale := 1 - p.RemoteMemFrac*(1-scale)
-				m.rescale(&res[i], loads[i], scaleFactorForMem(p, remoteScale))
+				m.rescale(&res[i], &loads[i], scaleFactorForMem(p, remoteScale))
 			}
 		}
 	}
@@ -243,7 +245,7 @@ func (m *Model) applyCapacity(loads []CoreLoad, res []CoreResult, uncoreGHz floa
 		scale := capMem / memDemand
 		for i := range res {
 			if loads[i].Prof.MemBytesPerInst > 0 {
-				m.rescale(&res[i], loads[i], scaleFactorForMem(loads[i].Prof, scale))
+				m.rescale(&res[i], &loads[i], scaleFactorForMem(&loads[i].Prof, scale))
 			}
 		}
 	}
@@ -256,7 +258,7 @@ func (m *Model) applyCapacity(loads []CoreLoad, res []CoreResult, uncoreGHz floa
 		scale := capL3 / l3Demand
 		for i := range res {
 			if loads[i].Prof.L3BytesPerInst > 0 {
-				m.rescale(&res[i], loads[i], scale)
+				m.rescale(&res[i], &loads[i], scale)
 			}
 		}
 	}
@@ -265,7 +267,7 @@ func (m *Model) applyCapacity(loads []CoreLoad, res []CoreResult, uncoreGHz floa
 // scaleFactorForMem converts a DRAM-bandwidth scale into an instruction
 // rate scale: cores whose traffic is mostly L3 are barely slowed by a
 // DRAM bottleneck.
-func scaleFactorForMem(p workload.Profile, memScale float64) float64 {
+func scaleFactorForMem(p *workload.Profile, memScale float64) float64 {
 	total := p.L3BytesPerInst + p.MemBytesPerInst
 	if total <= 0 {
 		return 1
@@ -274,7 +276,7 @@ func scaleFactorForMem(p workload.Profile, memScale float64) float64 {
 	return 1 - memShare*(1-memScale)
 }
 
-func (m *Model) rescale(r *CoreResult, ld CoreLoad, factor float64) {
+func (m *Model) rescale(r *CoreResult, ld *CoreLoad, factor float64) {
 	if factor >= 1 {
 		return
 	}

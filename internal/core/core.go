@@ -71,6 +71,14 @@ type Core struct {
 	profCacheAt  sim.Time
 	profCacheOK  bool
 	profCacheVal workload.Profile
+
+	// Constant-kernel memo (workload.ConstantKernel): the profile can
+	// never drift, so the steady-segment check and the telemetry loop
+	// skip the ProfileAt call and the 96-byte Profile copy entirely.
+	// profAVX/profMem cache the two profile predicates telemetry needs.
+	constProf bool
+	profAVX   bool
+	profMem   bool
 }
 
 func newCore(sk *Socket, index int, voltOffset float64) *Core {
@@ -114,7 +122,26 @@ func (c *Core) assign(now sim.Time, k workload.Kernel, threads int) {
 	c.kernStart = now
 	c.threads = threads
 	c.profCacheOK = false
+	c.constProf = false
+	if ck, ok := k.(workload.ConstantKernel); ok {
+		p := ck.ConstantProfile()
+		c.constProf = true
+		c.profCacheVal, c.profCacheOK = p, true
+		c.profAVX = p.AVXFrac > 0
+		c.profMem = p.MemoryBound()
+	}
 	c.sk.markDirty()
+	c.sk.sys.maxReqValid = false
+	c.sk.telChanged()
+	c.sk.loadsStale = true
+	cacheable := true
+	for _, cc := range c.sk.cores {
+		if cc.kernel != nil && !cc.constProf {
+			cacheable = false
+			break
+		}
+	}
+	c.sk.telCacheable = cacheable
 	if k == nil {
 		prev := c.cstateNow
 		c.cstateNow = c.sk.sys.cfg.IdleState
@@ -146,7 +173,7 @@ func (c *Core) profileNow(t sim.Time) workload.Profile {
 	if c.kernel == nil {
 		return workload.Profile{}
 	}
-	if c.profCacheOK && c.profCacheAt == t {
+	if c.profCacheOK && (c.constProf || c.profCacheAt == t) {
 		return c.profCacheVal
 	}
 	rel := t - c.kernStart
@@ -171,6 +198,8 @@ func (c *Core) slowdown() float64 {
 func (c *Core) requestPState(now sim.Time, f uarch.MHz) {
 	c.dom.Request(f)
 	c.lastRequestAt = now
+	c.sk.sys.maxReqValid = false
+	c.sk.telChanged()
 	// The nil guard is load-bearing: Emitf's variadic boxing allocates
 	// at the call site even when the buffer would discard the event,
 	// and p-state requests are a hot path for governor workloads.

@@ -360,6 +360,9 @@ func (sk *Socket) forkInto(nk *Socket, sys *System) {
 	nk.Power.ResetScratch()
 	nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores =
 		loadsBuf, coresBuf, statesBuf, resultsBuf, telCores
+	// The harvested telemetry buffer holds the old child's values, not
+	// the parent's: force a rebuild on the child's first grid tick.
+	nk.telBuilt = 0
 	// Forked sockets count their own integration segments from zero.
 	nk.statReplay, nk.statFull = 0, 0
 	nk.statReplayFlushed, nk.statFullFlushed = 0, 0

@@ -58,6 +58,7 @@ func buildMSRLayout(spec *uarch.Spec, ncpu, nsock int) *msrLayout {
 			s := d.Owner().(*System)
 			if c := s.coreOf(cpu); c != nil {
 				c.epbBits = v & 0xF
+				c.sk.telChanged()
 			}
 			return nil
 		},

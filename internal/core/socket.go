@@ -12,7 +12,6 @@ import (
 	"hswsim/internal/sim"
 	"hswsim/internal/trace"
 	"hswsim/internal/uarch"
-	"hswsim/internal/workload"
 )
 
 // Socket is one processor package.
@@ -92,7 +91,30 @@ type Socket struct {
 	statesBuf  []power.CoreState
 	resultsBuf []cache.CoreResult
 	telCores   []pcu.CoreTelemetry
+	// loadsStale forces integrateFull to rebuild loadsBuf from scratch:
+	// a kernel assignment can change a core's profile without changing
+	// the active set, which is what the in-place refresh keys on.
+	loadsStale bool
+
+	// Telemetry version cache: telVersion is bumped by every mutation
+	// that can move a per-core telemetry field (kernel assignment,
+	// c-state change, p-state request, EPB write, a full integration
+	// segment refreshing the stall fractions). While the version holds
+	// and every active core runs a constant-profile kernel
+	// (telCacheable), the per-core telemetry slice is reused as-is and
+	// the PCU is told so (Telemetry.Unchanged), skipping both the
+	// rebuild and the PCU's own per-core comparison. telBuilt == 0 means
+	// never built (versions start at 1); forkInto resets it because the
+	// harvested child buffer holds stale contents.
+	telVersion   uint64
+	telBuilt     uint64
+	telCacheable bool
+	telMemSt     bool
+	telSysMax    uarch.MHz
 }
+
+// telChanged invalidates the cached per-core telemetry.
+func (sk *Socket) telChanged() { sk.telVersion++ }
 
 // markDirty invalidates the memoized integration segment. Every
 // operating-point mutation must raise it after integrating up to the
@@ -145,6 +167,8 @@ func newSocket(sys *System, index int, topo *ring.Topology) *Socket {
 		c.resid.pstate = sk.residSlab[i*bins : (i+1)*bins : (i+1)*bins]
 	}
 	sk.opDirty = true
+	sk.telVersion = 1
+	sk.telCacheable = true
 	return sk
 }
 
@@ -257,36 +281,46 @@ func (sk *Socket) telemetry(now sim.Time) pcu.Telemetry {
 		sk.telCores = make([]pcu.CoreTelemetry, len(sk.cores))
 	}
 	tel := pcu.Telemetry{
-		Cores:     sk.telCores,
-		PkgPowerW: sk.lastPkgPowW,
-		PkgCState: sk.pkgCState,
-		TempC:     sk.Power.TempC(),
+		Cores:               sk.telCores,
+		PkgPowerW:           sk.lastPkgPowW,
+		PkgCState:           sk.pkgCState,
+		TempC:               sk.Power.TempC(),
+		SystemMaxRequestMHz: sk.sys.maxActiveRequest(),
+	}
+	if sk.telCacheable && sk.telBuilt == sk.telVersion &&
+		tel.SystemMaxRequestMHz == sk.telSysMax {
+		// Constant-profile kernels and an unchanged version: the per-core
+		// slice still holds exactly what this function would rebuild.
+		tel.MemoryStalls = sk.telMemSt
+		tel.Unchanged = true
+		return tel
 	}
 	for i, c := range sk.cores {
 		active := c.cstateNow == cstate.C0 && c.kernel != nil
-		var prof workload.Profile
+		avxNow, memBound := false, false
 		if active {
-			prof = c.profileNow(now)
+			if c.constProf {
+				avxNow, memBound = c.profAVX, c.profMem
+			} else {
+				prof := c.profileNow(now)
+				avxNow = prof.AVXFrac > 0
+				memBound = prof.MemoryBound()
+			}
 		}
 		tel.Cores[i] = pcu.CoreTelemetry{
 			Active:     active,
 			RequestMHz: c.dom.Requested(),
-			AVXNow:     active && prof.AVXFrac > 0,
+			AVXNow:     avxNow,
 			StallFrac:  c.lastStall,
 			EPB:        pcu.EPBFromBits(c.epbBits),
 		}
-		if active && prof.MemoryBound() {
+		if memBound {
 			tel.MemoryStalls = true
 		}
 	}
-	// System-wide interlock input: fastest active core setting anywhere.
-	for _, other := range sk.sys.sockets {
-		for _, c := range other.cores {
-			if c.cstateNow == cstate.C0 && c.kernel != nil && c.dom.Requested() > tel.SystemMaxRequestMHz {
-				tel.SystemMaxRequestMHz = c.dom.Requested()
-			}
-		}
-	}
+	sk.telBuilt = sk.telVersion
+	sk.telMemSt = tel.MemoryStalls
+	sk.telSysMax = tel.SystemMaxRequestMHz
 	return tel
 }
 
@@ -324,7 +358,12 @@ var debugForceFullIntegration = false
 // explicit state-change event, so they are re-checked each segment.
 func (sk *Socket) steadyAt(from sim.Time) bool {
 	for j, c := range sk.coresBuf {
-		if c.profileNow(from) != sk.loadsBuf[j].Prof || c.slowdown() != c.lastSD {
+		if c.slowdown() != c.lastSD {
+			return false
+		}
+		// Constant kernels cannot drift; only phase-varying profiles need
+		// the (96-byte) compare against the memoized load.
+		if !c.constProf && c.profileNow(from) != sk.loadsBuf[j].Prof {
 			return false
 		}
 	}
@@ -359,21 +398,46 @@ func (sk *Socket) integrateSteady(dt sim.Time) float64 {
 // hierarchy, recomputes the power breakdown, and refreshes the segment
 // memo for subsequent steady segments.
 func (sk *Socket) integrateFull(from sim.Time, dt sim.Time) float64 {
-	// Solve the memory hierarchy for the active cores.
-	loads := sk.loadsBuf[:0]
+	// Solve the memory hierarchy for the active cores. When the active
+	// set is pointer-identical to the previous full segment (the common
+	// case: the PCU regranting frequencies under a power cap), the load
+	// entries are refreshed in place — frequency and threads always,
+	// profile only for phase-varying kernels — instead of re-copying
+	// every 96-byte Profile through a rebuild.
+	old := sk.coresBuf
 	loadCores := sk.coresBuf[:0]
+	same := !sk.loadsStale
 	for _, c := range sk.cores {
 		if c.cstateNow == cstate.C0 && c.kernel != nil {
+			if j := len(loadCores); same && (j >= len(old) || old[j] != c) {
+				same = false
+			}
+			loadCores = append(loadCores, c)
+		}
+	}
+	var loads []cache.CoreLoad
+	if same && len(loadCores) == len(old) {
+		loads = sk.loadsBuf[:len(old)]
+		for j, c := range loadCores {
+			loads[j].FreqGHz = c.dom.Granted().GHz()
+			loads[j].Threads = c.threads
+			if !c.constProf {
+				loads[j].Prof = c.profileNow(from)
+			}
+		}
+	} else {
+		loads = sk.loadsBuf[:0]
+		for _, c := range loadCores {
 			loads = append(loads, cache.CoreLoad{
 				CoreID:  c.Index,
 				FreqGHz: c.dom.Granted().GHz(),
 				Threads: c.threads,
 				Prof:    c.profileNow(from),
 			})
-			loadCores = append(loadCores, c)
 		}
 	}
 	sk.loadsBuf, sk.coresBuf = loads, loadCores
+	sk.loadsStale = false
 	uncoreGHz := sk.UncoreMHz().GHz()
 	results := sk.Cache.SolveInto(sk.resultsBuf, loads, uncoreGHz)
 	sk.resultsBuf = results
@@ -396,7 +460,7 @@ func (sk *Socket) integrateFull(from sim.Time, dt sim.Time) float64 {
 	}
 	for j, c := range loadCores {
 		r := results[j]
-		prof := loads[j].Prof
+		prof := &loads[j].Prof
 		c.lastSD = c.slowdown()
 		rate := r.Rate * c.lastSD
 		ipcShare := 0.0
@@ -441,6 +505,9 @@ func (sk *Socket) integrateFull(from sim.Time, dt sim.Time) float64 {
 	sk.segDRAMW = dramW
 	sk.segUncGHz = uncoreGHz
 	sk.segValid = true
+	// A full segment rewrites every core's stall fraction — a telemetry
+	// input — so the cached per-core telemetry no longer matches.
+	sk.telChanged()
 	return sk.RAPLDomainsPowerW(pkgW, dramW)
 }
 

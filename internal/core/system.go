@@ -134,6 +134,13 @@ type System struct {
 	// workloads; one buffer instead of one slice per refresh).
 	statesBuf []cstate.State
 
+	// maxReqMHz caches the fastest active core setting anywhere in the
+	// system — the uncore interlock input every socket's telemetry needs
+	// each grid tick. Invalidated by the three mutations that can move
+	// it: kernel assignment, an idle-governor sleep, a p-state request.
+	maxReqMHz   uarch.MHz
+	maxReqValid bool
+
 	// trace is nil unless EnableTrace was called (nil is a valid no-op
 	// recorder; every hot call site still guards, because formatting
 	// arguments for a discarded record would allocate).
@@ -433,6 +440,35 @@ func (s *System) SetPStateAll(f uarch.MHz) {
 
 // RequestTurbo requests the turbo setting on every CPU.
 func (s *System) RequestTurbo() { s.SetPStateAll(s.cfg.Spec.TurboSettingMHz()) }
+
+// maxActiveRequest returns the fastest active core setting anywhere in
+// the system, recomputing the cache on demand.
+func (s *System) maxActiveRequest() uarch.MHz {
+	if !s.maxReqValid {
+		m := uarch.MHz(0)
+		for _, sk := range s.sockets {
+			for _, c := range sk.cores {
+				if c.cstateNow == cstate.C0 && c.kernel != nil && c.dom.Requested() > m {
+					m = c.dom.Requested()
+				}
+			}
+		}
+		s.maxReqMHz, s.maxReqValid = m, true
+	}
+	return s.maxReqMHz
+}
+
+// SetPStateLogCap re-caps every core domain's transition ring at n
+// entries. Fleet-scale forks never read the 4096-deep diagnostic log,
+// and its append growth is the dominant allocation in the steady
+// stepping path; a small pre-sized ring makes logging allocation-free.
+func (s *System) SetPStateLogCap(n int) {
+	for _, sk := range s.sockets {
+		for _, c := range sk.cores {
+			c.dom.SetLogLimit(n)
+		}
+	}
+}
 
 // refreshPackageStates recomputes package c-states after core activity
 // changes (Haswell-EP: any active core anywhere blocks package sleep).

@@ -29,6 +29,8 @@ func (s *System) SleepCore(cpu int, st cstate.State) error {
 	s.integrateTo(now)
 	prev := c.cstateNow
 	c.cstateNow = st
+	s.maxReqValid = false
+	c.sk.telChanged()
 	if tr := s.trace; tr != nil && prev != st {
 		tr.Emitf(now, trace.CStateEnter, c.sk.Index, c.CPU, "%v -> %v (idle governor)", prev, st)
 		tr.Begin(now, trace.SpanCState, c.sk.Index, c.CPU, st.String())

@@ -127,6 +127,13 @@ type Telemetry struct {
 	MemoryStalls bool
 	// TempC is the package temperature (PROCHOT input).
 	TempC float64
+	// Unchanged asserts that Cores' contents, MemoryStalls and
+	// SystemMaxRequestMHz are identical to the previous Tick call on
+	// this PCU (the caller tracks its own mutations). It lets the
+	// steady-tick path skip the per-core comparison; the continuously
+	// drifting scalars (PkgPowerW, TempC) are not covered and are always
+	// re-checked.
+	Unchanged bool
 }
 
 // Decision is the PCU output for one grid tick.
@@ -162,6 +169,24 @@ type PCU struct {
 	// Tick call).
 	decCore []uarch.MHz
 	decAVX  []bool
+
+	// Steady-tick memo: when this tick's telemetry matches the last
+	// tick's and the controller state is provably at a fixed point, Tick
+	// replays the previous Decision after only the timestamp bookkeeping
+	// (AVX hold times, EET poll clock) — skipping the per-core target
+	// ladder, the budget controller and the uncore map walk. lastCores
+	// is the PCU's own copy (the caller reuses its telemetry buffer);
+	// lastUncTarget memoizes uncoreUnconstrained for the fixed-point
+	// check. Invalidated by Clone (via own), SetTDPWatts and
+	// SetUncoreLimits.
+	lastValid     bool
+	lastSteady    bool // previous tick took the steady path
+	lastCores     []CoreTelemetry
+	lastPkgPowW   float64
+	lastPkgC      cstate.PkgState
+	lastMemSt     bool
+	lastSysMax    uarch.MHz
+	lastUncTarget uarch.MHz
 
 	// gen covers the AVX/EET bookkeeping slices and the Tick scratch:
 	// clones (and the plain struct copies core.System.Fork makes) share
@@ -212,9 +237,13 @@ func (p *PCU) own() {
 	p.lastAVX = append([]sim.Time(nil), p.lastAVX...)
 	p.eetStall = append([]float64(nil), p.eetStall...)
 	// The Decision scratch may be shared with the clone source; Tick
-	// lazily reallocates nil scratch.
+	// lazily reallocates nil scratch. The steady-tick memo points into
+	// that scratch, so it goes with it.
 	p.decCore = nil
 	p.decAVX = nil
+	p.lastCores = nil
+	p.lastValid = false
+	p.lastSteady = false
 	p.gen.Own()
 }
 
@@ -230,6 +259,7 @@ func (p *PCU) SetTDPWatts(w float64) {
 		w = 20
 	}
 	p.tdp = w
+	p.lastValid = false
 }
 
 // SetUncoreLimits programs software bounds on the uncore clock — the
@@ -248,6 +278,7 @@ func (p *PCU) SetUncoreLimits(min, max uarch.MHz) {
 		max = min
 	}
 	p.uncoreUserMin, p.uncoreUserMax = min, max
+	p.lastValid = false
 }
 
 // clampUncoreUser applies the software uncore bounds.
@@ -299,6 +330,13 @@ func (p *PCU) eetPeriod() sim.Time {
 func (p *PCU) Tick(now sim.Time, tel Telemetry) Decision {
 	p.own()
 	p.ticks++
+	if p.steadyTick(now, tel) {
+		return Decision{
+			CoreTargetMHz: p.decCore,
+			AVXMode:       p.decAVX,
+			UncoreMHz:     p.uncoreMHz,
+		}
+	}
 	n := p.cfg.Spec.Cores
 	if p.decCore == nil {
 		p.decCore = make([]uarch.MHz, n)
@@ -372,7 +410,88 @@ func (p *PCU) Tick(now sim.Time, tel Telemetry) Decision {
 		dec.UncoreMHz = p.clampUncoreUser(dec.UncoreMHz)
 	}
 	p.uncoreMHz = dec.UncoreMHz
+	p.storeSteady(tel)
 	return dec
+}
+
+// storeSteady records this tick's telemetry for the steady-tick memo.
+func (p *PCU) storeSteady(tel Telemetry) {
+	p.lastCores = append(p.lastCores[:0], tel.Cores...)
+	p.lastPkgPowW = tel.PkgPowerW
+	p.lastPkgC = tel.PkgCState
+	p.lastMemSt = tel.MemoryStalls
+	p.lastSysMax = tel.SystemMaxRequestMHz
+	p.lastUncTarget = p.uncoreUnconstrained(tel)
+	p.lastValid = true
+	// A slow tick has not verified the fast-path per-core conditions
+	// (AVXNow == decision, EET stall parity); the next steadyTick must
+	// run the full comparison before the Unchanged skip becomes legal.
+	p.lastSteady = false
+}
+
+// steadyTick detects a fixed-point grid tick and replays the previous
+// Decision. The conditions make every state mutation the full evaluation
+// would perform either provably absent or reproduced here, so a steady
+// tick is bit-for-bit indistinguishable from a recomputed one:
+//
+//   - identical per-core telemetry, package power, package c-state,
+//     stall signal and interlock input as the memoized tick — so the
+//     target ladder and uncore selection would resolve identically;
+//   - no throttle depth (TDP or thermal) and power at or under the
+//     limit, with the temperature below the PROCHOT trip — so the
+//     thermal and budget controllers would not move;
+//   - the uncore already at or above the memoized UFS target — so the
+//     budget controller's headroom climb would not move it either;
+//   - every core's AVX activity equal to its granted AVX mode — an
+//     active core refreshes its hold timer (done below, as the full
+//     path would), and an inactive, expired one stays expired;
+//   - EET's stall samples already equal the incoming stall telemetry —
+//     so a due poll (clock advanced below) rewrites identical values.
+func (p *PCU) steadyTick(now sim.Time, tel Telemetry) bool {
+	// Package power is compared by threshold side, not value: the
+	// controllers read it only against the TDP (budget engage), 0.8×TDP
+	// (uncore snap-to-target) and the headroom deadband, so ulp-level
+	// drift in the measured watts cannot change the decision once the
+	// same sides hold.
+	if !p.lastValid || p.decCore == nil ||
+		p.throttleBins != 0 || p.thermalBins != 0 ||
+		len(tel.Cores) != len(p.lastCores) || len(tel.Cores) != len(p.decAVX) ||
+		tel.PkgPowerW > p.tdp ||
+		(tel.PkgPowerW < p.tdp*0.8) != (p.lastPkgPowW < p.tdp*0.8) ||
+		tel.PkgCState != p.lastPkgC ||
+		tel.MemoryStalls != p.lastMemSt ||
+		tel.SystemMaxRequestMHz != p.lastSysMax ||
+		tel.TempC > p.throttleTemp() {
+		return false
+	}
+	if p.cfg.UFSEnabled && p.uncoreMHz < p.lastUncTarget &&
+		p.tdp-tel.PkgPowerW > p.tdp*0.005 {
+		return false
+	}
+	// With the caller asserting identical per-core inputs and the
+	// previous tick having verified them, the comparison can be skipped:
+	// nothing on the right-hand side of these conditions has been
+	// written since it last held.
+	if !(tel.Unchanged && p.lastSteady) {
+		for i := range tel.Cores {
+			if tel.Cores[i] != p.lastCores[i] ||
+				tel.Cores[i].AVXNow != p.decAVX[i] ||
+				(p.cfg.EETEnabled && p.eetStall[i] != tel.Cores[i].StallFrac) {
+				return false
+			}
+		}
+	}
+	// Steady: perform only the timestamp bookkeeping.
+	for i := range tel.Cores {
+		if tel.Cores[i].AVXNow {
+			p.lastAVX[i] = now
+		}
+	}
+	if per := p.eetPeriod(); p.cfg.EETEnabled && per > 0 && now-p.lastEETPoll >= per {
+		p.lastEETPoll = now
+	}
+	p.lastSteady = true
+	return true
 }
 
 // coreTarget picks a core's pre-throttle frequency target.

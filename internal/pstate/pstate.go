@@ -138,6 +138,38 @@ func (d *Domain) ForkLogInto(buf []Transition) {
 	d.gen.Own()
 }
 
+// SetLogLimit re-caps the transition ring at n entries (min 2), keeping
+// the newest entries and re-seating them in a private backing with the
+// full capacity pre-allocated, so the logging path never grows the
+// slice again. Intended for fleet-scale forks, where the default
+// 4096-deep diagnostic log is never read back and its append growth
+// dominates the steady stepping path's allocations.
+func (d *Domain) SetLogLimit(n int) {
+	if n < 2 {
+		n = 2
+	}
+	if n == d.logLimit && cap(d.transitions) >= n && d.gen.Owned() {
+		return
+	}
+	cnt := len(d.transitions)
+	start := 0
+	if cnt == d.logLimit {
+		start = d.head
+	}
+	keep := cnt
+	if keep > n {
+		keep = n
+	}
+	nt := make([]Transition, keep, n)
+	for i := 0; i < keep; i++ {
+		nt[i] = d.transitions[(start+cnt-keep+i)%cnt]
+	}
+	d.transitions = nt
+	d.head = 0
+	d.logLimit = n
+	d.gen.Own()
+}
+
 // Request records a software p-state request. Values are clamped to the
 // selectable range; anything above base is the turbo setting.
 func (d *Domain) Request(f uarch.MHz) uarch.MHz {

@@ -98,3 +98,23 @@ func BenchmarkEngineMixedQueue(b *testing.B) {
 		e.Step()
 	}
 }
+
+// BenchmarkEngineDensePeriodic measures steady-state stepping with 1k
+// concurrent Every series on mixed periods — the dense-fleet tick
+// pattern the coalescer targets. Series sharing a period are
+// phase-aligned, so each period contributes one coalesced group per
+// occurrence rather than hundreds of independent queue entries.
+func BenchmarkEngineDensePeriodic(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	periods := []Time{500, 1000, 2500, 5000}
+	for i := 0; i < 1000; i++ {
+		p := periods[i%len(periods)]
+		e.EveryID(p, p, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

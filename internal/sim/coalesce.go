@@ -1,0 +1,189 @@
+package sim
+
+// Coalesced periodic ticks.
+//
+// Every series that share an occurrence instant and a period merge into
+// a tick group: one driver entry sits in the queue carrying the group's
+// occurrence time and the head member's tie-break seq — exactly where
+// the head member itself would sort — and claiming the occurrence
+// expands the members back out in seq order, merged with the rest of
+// the same-instant cohort (claimBatch). n aligned series therefore cost
+// one queue slot and one activation per period instead of n.
+//
+// Groups are ephemeral per occurrence: the claim consumes the driver;
+// each member re-arms after its own callback with a fresh seq (the
+// same coordinates it would get as an independent heap entry) and
+// re-coalesces for the next occurrence. Because members keep their own
+// (at, seq) and batches merge seq-wise, grouping never changes dispatch
+// order — only how the pending set is stored. Coalescing is also
+// best-effort by design: series that miss the recent-ring lookup simply
+// stay independent entries with identical semantics, so two groups with
+// equal coordinates are valid (they dispatch adjacently by seq).
+
+// armPeriodic enqueues a periodic entry at its next occurrence, joining
+// a coalesced tick group when a recently armed series shares its
+// (occurrence, period) coordinates.
+func (e *Engine) armPeriodic(s *scheduled) {
+	e.pendingN++
+	for i := range e.recent {
+		r := e.recent[i]
+		if r == nil || r == s {
+			continue
+		}
+		if r.loc == locGroup {
+			r = r.grp // member → its driver
+			if r == s {
+				continue
+			}
+		}
+		if r.at != s.at || r.period != s.period {
+			continue
+		}
+		switch r.loc {
+		case locCur, locFar, locWheel:
+		default:
+			continue // claimed, in flight, or recycled since remembered
+		}
+		if r.members == nil {
+			r = e.convertToGroup(r)
+		}
+		e.joinGroup(r, s)
+		e.stats.coalesced++
+		return
+	}
+	e.remember(s)
+	e.place(s)
+}
+
+// remember records a freshly placed standalone periodic node as a join
+// candidate. Grouped arms need no entry: a remembered member or a
+// remembered driver both resolve to the group.
+func (e *Engine) remember(s *scheduled) {
+	e.recent[e.recentPos] = s
+	e.recentPos++
+	if e.recentPos == len(e.recent) {
+		e.recentPos = 0
+	}
+}
+
+// memberSlice takes a member-list backing from the pool, or makes one.
+func (e *Engine) memberSlice() []*scheduled {
+	if n := len(e.mpool); n > 0 {
+		ms := e.mpool[n-1]
+		e.mpool[n-1] = nil
+		e.mpool = e.mpool[:n-1]
+		return ms
+	}
+	return make([]*scheduled, 0, 8)
+}
+
+// releaseDriver retires a group driver whose members have all been
+// claimed or removed, recycling its member-slice backing.
+func (e *Engine) releaseDriver(d *scheduled) {
+	ms := d.members[:0]
+	d.members = nil
+	d.mhead = 0
+	e.mpool = append(e.mpool, ms)
+	e.release(d)
+}
+
+// convertToGroup replaces a pending standalone periodic entry with a
+// fresh driver holding it as sole member. The driver assumes the
+// entry's exact queue position — same (at, seq) key — so no ordering
+// structure moves.
+func (e *Engine) convertToGroup(r *scheduled) *scheduled {
+	d := e.alloc()
+	d.at = r.at
+	d.seq = r.seq
+	d.period = r.period
+	d.members = append(e.memberSlice(), r)
+	d.loc = r.loc
+	d.index = r.index
+	switch r.loc {
+	case locCur:
+		e.cur[r.index] = d
+	case locFar:
+		e.far[r.index] = d
+	case locWheel:
+		d.next = r.next
+		d.prev = r.prev
+		if d.next != nil {
+			d.next.prev = d
+		}
+		if d.prev != nil {
+			d.prev.next = d
+		} else if gslot := r.index; gslot < l0Size {
+			e.l0[gslot] = d
+		} else {
+			e.l1[gslot-l0Size] = d
+		}
+		r.next, r.prev = nil, nil
+	}
+	r.loc = locGroup
+	r.grp = d
+	return d
+}
+
+// joinGroup inserts s into d's member list in seq order. Fresh arms
+// carry the highest seq so far and append; fork re-arms may land
+// anywhere, including ahead of the head, which lowers the driver's
+// tie-break key.
+func (e *Engine) joinGroup(d, s *scheduled) {
+	s.loc = locGroup
+	s.grp = d
+	ms := append(d.members, nil)
+	i := len(ms) - 1
+	for i > d.mhead && ms[i-1].seq > s.seq {
+		ms[i] = ms[i-1]
+		i--
+	}
+	ms[i] = s
+	d.members = ms
+	if i == d.mhead {
+		d.seq = s.seq
+		switch d.loc {
+		case locCur:
+			e.cur.siftUp(d.index)
+		case locFar:
+			e.far.siftUp(d.index)
+		}
+	}
+}
+
+// removeMember takes a pending member out of its group (cancel/stop
+// path), dropping the driver when the group empties and re-keying it
+// when the head member goes.
+func (e *Engine) removeMember(d, s *scheduled) {
+	ms := d.members
+	i := d.mhead
+	for ms[i] != s {
+		i++
+	}
+	copy(ms[i:], ms[i+1:])
+	ms[len(ms)-1] = nil
+	ms = ms[:len(ms)-1]
+	d.members = ms
+	s.grp = nil
+	if d.mhead == len(ms) {
+		switch d.loc {
+		case locCur:
+			e.cur.remove(d.index)
+		case locFar:
+			e.far.remove(d.index)
+		case locWheel:
+			e.unlink(d)
+		}
+		d.loc = locNone
+		e.releaseDriver(d)
+		return
+	}
+	if i == d.mhead {
+		d.seq = ms[d.mhead].seq
+		switch d.loc {
+		case locCur:
+			e.cur.siftDown(d.index)
+		case locFar:
+			e.far.siftDown(d.index)
+		}
+	}
+}

@@ -152,101 +152,256 @@ func TestEngineReentrantRunUntil(t *testing.T) {
 	}
 }
 
-// checkHeap verifies the (at, seq) heap ordering and index bookkeeping.
-func checkHeap(t *testing.T, q eventQueue) {
+// checkEngine verifies the timing wheel's structural invariants: heap
+// order and index bookkeeping in the active and far heaps, bucket list
+// and occupancy-bitmap agreement, slot hashing, tick-group member
+// ordering and driver keys, and the pending count.
+func checkEngine(t *testing.T, e *Engine) {
 	t.Helper()
-	for i, s := range q {
-		if s.index != i {
-			t.Fatalf("entry at %d has index %d", i, s.index)
+	pending := 0
+	checkNode := func(s *scheduled, wantLoc int8, where string) {
+		if s.loc != wantLoc {
+			t.Fatalf("%s: entry (%v,%d) has loc %d, want %d", where, s.at, s.seq, s.loc, wantLoc)
 		}
-		if i > 0 {
-			parent := (i - 1) / 2
-			if eventLess(s, q[parent]) {
-				t.Fatalf("heap violated at %d: (%v,%d) < parent (%v,%d)",
-					i, s.at, s.seq, q[parent].at, q[parent].seq)
+		if s.at < e.now {
+			t.Fatalf("%s: entry (%v,%d) pending in the past (now %v)", where, s.at, s.seq, e.now)
+		}
+		if s.members == nil {
+			pending++
+			return
+		}
+		// Group driver: members[mhead:] pending, ascending seq, head
+		// seq mirrored in the driver's key.
+		ms := s.members[s.mhead:]
+		if len(ms) == 0 {
+			t.Fatalf("%s: empty group driver at (%v,%d)", where, s.at, s.seq)
+		}
+		if s.seq != ms[0].seq {
+			t.Fatalf("%s: driver seq %d != head member seq %d", where, s.seq, ms[0].seq)
+		}
+		var last uint64
+		for k, m := range ms {
+			if m.loc != locGroup || m.grp != s {
+				t.Fatalf("%s: member %d not linked to its driver", where, k)
 			}
+			if m.at != s.at || m.period != s.period || m.period <= 0 {
+				t.Fatalf("%s: member %d coordinates (%v,%v) diverge from driver (%v,%v)",
+					where, k, m.at, m.period, s.at, s.period)
+			}
+			if k > 0 && m.seq <= last {
+				t.Fatalf("%s: member seqs out of order: %d after %d", where, m.seq, last)
+			}
+			last = m.seq
 		}
+		pending += len(ms)
+	}
+	checkHeap := func(q eventQueue, loc int8, where string) {
+		for i, s := range q {
+			if s.index != i {
+				t.Fatalf("%s: entry at %d has index %d", where, i, s.index)
+			}
+			if i > 0 && eventLess(s, q[(i-1)/2]) {
+				t.Fatalf("%s: heap violated at %d: (%v,%d) < parent", where, i, s.at, s.seq)
+			}
+			checkNode(s, loc, where)
+		}
+	}
+	checkHeap(e.cur, locCur, "cur")
+	checkHeap(e.far, locFar, "far")
+	checkBucket := func(head *scheduled, gslot int, bit bool, hash func(Time) int, where string) {
+		if (head != nil) != bit {
+			t.Fatalf("%s slot %d: occupancy bit %v but head %v", where, gslot, bit, head)
+		}
+		var prev *scheduled
+		for s := head; s != nil; s = s.next {
+			if s.prev != prev {
+				t.Fatalf("%s slot %d: broken prev link", where, gslot)
+			}
+			if s.index != gslot {
+				t.Fatalf("%s slot %d: entry carries slot %d", where, gslot, s.index)
+			}
+			if hash(s.at) != gslot {
+				t.Fatalf("%s slot %d: entry at %v hashes elsewhere", where, gslot, s.at)
+			}
+			checkNode(s, locWheel, where)
+			prev = s
+		}
+	}
+	for slot := 0; slot < l0Size; slot++ {
+		bit := e.l0bits[slot>>6]&(1<<uint(slot&63)) != 0
+		checkBucket(e.l0[slot], slot, bit,
+			func(at Time) int { return int((at >> l0Shift) & l0Mask) }, "l0")
+	}
+	for slot := 0; slot < l1Size; slot++ {
+		bit := e.l1bits[slot>>6]&(1<<uint(slot&63)) != 0
+		checkBucket(e.l1[slot], l0Size+slot, bit,
+			func(at Time) int { return l0Size + int((at>>l1Shift)&l1Mask) }, "l1")
+	}
+	if pending != e.pendingN {
+		t.Fatalf("pendingN = %d but structures hold %d entries", e.pendingN, pending)
 	}
 }
 
-// TestEngineDispatchOrderProperty drives two identically-seeded engines
-// through a random interleaving of At/After/Cancel/Every/stop and
-// requires identical dispatch traces — the determinism contract that
-// makes simulation runs reproducible. It also checks the heap invariant
-// after every operation on the first engine.
+// TestEngineDispatchOrderProperty drives the timing-wheel engine and the
+// reference heap engine (engine_ref_test.go) through one random
+// interleaving of At/After/EveryID/Cancel/StopSeries/Run/Fork and
+// requires identical dispatch traces — including same-instant batch
+// ordering, coalesced periodic ticks, and fork re-arm at the original
+// (time, seq) coordinates. The wheel's structural invariants are
+// checked after every operation.
 func TestEngineDispatchOrderProperty(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
-		rng1 := NewRNG(uint64(1000 + trial))
-		rng2 := NewRNG(uint64(1000 + trial))
-		trace1 := runScript(t, rng1, true)
-		trace2 := runScript(t, rng2, false)
-		if len(trace1) != len(trace2) {
-			t.Fatalf("trial %d: trace lengths differ: %d vs %d", trial, len(trace1), len(trace2))
-		}
-		for i := range trace1 {
-			if trace1[i] != trace2[i] {
-				t.Fatalf("trial %d: traces diverge at %d: %q vs %q", trial, i, trace1[i], trace2[i])
-			}
-		}
+		runDualScript(t, NewRNG(uint64(1000+trial)))
 	}
 }
 
-// runScript executes one randomized schedule/cancel/run script against a
-// fresh engine, returning the dispatch trace.
-func runScript(t *testing.T, rng *RNG, check bool) []string {
+// runDualScript executes one randomized script against both engines in
+// lockstep, comparing dispatch traces as it goes.
+func runDualScript(t *testing.T, rng *RNG) {
+	t.Helper()
 	e := NewEngine()
-	var trace []string
+	r := newRefEngine()
+	var etr, rtr []string
 	var ids []EventID
-	var stops []func()
+	var rids []refEventID
+	var everies []int // indices of periodic entries (StopSeries targets)
 	nextTag := 0
+	// Periods drawn from a small set, with starts usually snapped to the
+	// next period multiple, so independent series align and exercise the
+	// tick-coalescing path; sparse phases keep singleton series too.
+	periods := []Time{5, 10, 25, 40}
 	for op := 0; op < 400; op++ {
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0, 1, 2:
 			tag := nextTag
 			nextTag++
 			at := e.Now() + Time(rng.Intn(50))
 			ids = append(ids, e.At(at, func(now Time) {
-				trace = append(trace, fmt.Sprintf("at%d@%d", tag, now))
+				etr = append(etr, fmt.Sprintf("at%d@%d", tag, now))
 			}))
-		case 3, 4:
+			rids = append(rids, r.At(at, func(now Time) {
+				rtr = append(rtr, fmt.Sprintf("at%d@%d", tag, now))
+			}))
+		case 3:
 			tag := nextTag
 			nextTag++
 			d := Time(rng.Intn(50))
 			ids = append(ids, e.After(d, func(now Time) {
-				trace = append(trace, fmt.Sprintf("after%d@%d", tag, now))
+				etr = append(etr, fmt.Sprintf("after%d@%d", tag, now))
 			}))
-		case 5:
+			rids = append(rids, r.After(d, func(now Time) {
+				rtr = append(rtr, fmt.Sprintf("after%d@%d", tag, now))
+			}))
+		case 4, 5, 6:
 			tag := nextTag
 			nextTag++
-			start := e.Now() + Time(rng.Intn(30))
-			period := Time(1 + rng.Intn(20))
-			stops = append(stops, e.Every(start, period, func(now Time) {
-				trace = append(trace, fmt.Sprintf("every%d@%d", tag, now))
+			period := periods[rng.Intn(len(periods))]
+			var start Time
+			if rng.Intn(4) > 0 {
+				start = (e.Now()/period + 1) * period // aligned: coalesces
+			} else {
+				start = e.Now() + Time(rng.Intn(30))
+			}
+			everies = append(everies, len(ids))
+			ids = append(ids, e.EveryID(start, period, func(now Time) {
+				etr = append(etr, fmt.Sprintf("every%d@%d", tag, now))
 			}))
-		case 6:
-			if len(ids) > 0 {
-				id := ids[rng.Intn(len(ids))]
-				trace = append(trace, fmt.Sprintf("cancel=%v", e.Cancel(id)))
-			}
+			rids = append(rids, r.EveryID(start, period, func(now Time) {
+				rtr = append(rtr, fmt.Sprintf("every%d@%d", tag, now))
+			}))
 		case 7:
-			if len(stops) > 0 {
-				stops[rng.Intn(len(stops))]()
-				trace = append(trace, "stop")
+			if len(ids) > 0 {
+				i := rng.Intn(len(ids))
+				got, want := e.Cancel(ids[i]), r.Cancel(rids[i])
+				if got != want {
+					t.Fatalf("op %d: Cancel diverged: wheel %v, ref %v", op, got, want)
+				}
+				etr = append(etr, fmt.Sprintf("cancel=%v", got))
+				rtr = append(rtr, fmt.Sprintf("cancel=%v", want))
 			}
+		case 8:
+			if len(everies) > 0 {
+				i := everies[rng.Intn(len(everies))]
+				e.StopSeries(ids[i])
+				r.StopSeries(rids[i])
+				etr = append(etr, "stop")
+				rtr = append(rtr, "stop")
+			}
+		case 9:
+			// Fork both engines and re-arm every still-pending tracked
+			// event on the children at its original coordinates.
+			ne, nr := e.Fork(), r.Fork()
+			var nids []EventID
+			var nrids []refEventID
+			var neveries []int
+			for i := range ids {
+				p, rp := e.IsPending(ids[i]), r.IsPending(rids[i])
+				if p != rp {
+					t.Fatalf("op %d: IsPending diverged at %d: wheel %v, ref %v", op, i, p, rp)
+				}
+				if !p {
+					continue
+				}
+				tag := i
+				nids = append(nids, ne.Rearm(ids[i], func(now Time) {
+					etr = append(etr, fmt.Sprintf("re%d@%d", tag, now))
+				}))
+				nrids = append(nrids, nr.Rearm(rids[i], func(now Time) {
+					rtr = append(rtr, fmt.Sprintf("re%d@%d", tag, now))
+				}))
+			}
+			for i, id := range nids {
+				if ne.IsPending(id) && id.s.period > 0 {
+					neveries = append(neveries, i)
+				}
+			}
+			e, r = ne, nr
+			ids, rids, everies = nids, nrids, neveries
+			etr = append(etr, "fork")
+			rtr = append(rtr, "fork")
 		default:
-			e.Run(Time(rng.Intn(40)))
-			trace = append(trace, fmt.Sprintf("ran@%d", e.Now()))
+			d := Time(rng.Intn(40))
+			e.Run(d)
+			r.Run(d)
+			etr = append(etr, fmt.Sprintf("ran@%d", e.Now()))
+			rtr = append(rtr, fmt.Sprintf("ran@%d", r.Now()))
 		}
-		if check {
-			checkHeap(t, e.queue)
+		checkEngine(t, e)
+		if e.Pending() != r.Pending() {
+			t.Fatalf("op %d: Pending diverged: wheel %d, ref %d", op, e.Pending(), r.Pending())
+		}
+		if len(etr) != len(rtr) {
+			t.Fatalf("op %d: trace lengths diverge: %d vs %d\nwheel: %v\nref:   %v",
+				op, len(etr), len(rtr), tail(etr, 12), tail(rtr, 12))
+		}
+		for i := range etr {
+			if etr[i] != rtr[i] {
+				t.Fatalf("op %d: traces diverge at %d: wheel %q, ref %q", op, i, etr[i], rtr[i])
+			}
 		}
 	}
 	// Stop all periodic series, then drain what's left.
-	for _, s := range stops {
-		s()
+	for _, i := range everies {
+		e.StopSeries(ids[i])
+		r.StopSeries(rids[i])
 	}
 	e.Drain(10000)
-	return trace
+	r.Drain(10000)
+	if len(etr) != len(rtr) {
+		t.Fatalf("final trace lengths diverge: %d vs %d", len(etr), len(rtr))
+	}
+	for i := range etr {
+		if etr[i] != rtr[i] {
+			t.Fatalf("final traces diverge at %d: wheel %q, ref %q", i, etr[i], rtr[i])
+		}
+	}
+}
+
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
 }
 
 // TestEngineSteadyStateAllocs: a settled periodic load must not allocate

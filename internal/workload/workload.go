@@ -70,6 +70,17 @@ type Kernel interface {
 	ProfileAt(t sim.Time) Profile
 }
 
+// ConstantKernel marks kernels whose profile never varies with time
+// (FIRESTARTER's "extremely constant power consumption patterns" and the
+// Static microbenchmarks). The platform probes for it to skip the
+// per-segment profile re-check — ProfileAt must return the same value
+// for every t.
+type ConstantKernel interface {
+	Kernel
+	// ConstantProfile returns the kernel's time-invariant profile.
+	ConstantProfile() Profile
+}
+
 // static is a time-invariant kernel.
 type static struct {
 	name string
@@ -78,6 +89,7 @@ type static struct {
 
 func (s *static) Name() string               { return s.name }
 func (s *static) ProfileAt(sim.Time) Profile { return s.p }
+func (s *static) ConstantProfile() Profile   { return s.p }
 func (s *static) String() string             { return s.name }
 
 // Static builds a constant-profile kernel.
@@ -255,6 +267,10 @@ func (firestarterKernel) ProfileAt(sim.Time) Profile {
 		UncoreRefGHz:    3.0,
 	}
 }
+
+// ConstantProfile marks FIRESTARTER as time-invariant (its defining
+// property in the paper's stress-test comparison).
+func (k firestarterKernel) ConstantProfile() Profile { return k.ProfileAt(0) }
 
 // Firestarter returns the FIRESTARTER stress kernel.
 func Firestarter() Kernel { return firestarterKernel{} }

@@ -8,15 +8,20 @@
 #   scripts/bench_snapshot.sh [benchtime]            # refresh BENCH_sim.json
 #   scripts/bench_snapshot.sh -compare [benchtime]   # perf-regression gate
 #
-# Compare mode diffs a fresh run against the committed snapshot instead
-# of overwriting it: ns/op must stay within the tolerance (default
-# +/-25%, override with BENCH_TOL=0.40 etc.), allocs/op must match
-# exactly for lean benchmarks (reference < 32 allocs/op — the hot paths
-# whose contract is an exact, usually zero, count), batch benchmarks
-# above that get +/-5% (amortized slice growth divided by b.N rounds
-# differently between runs), and every benchmark in the snapshot must
-# still exist. Exits nonzero on any regression — `make ci` runs this as
-# its perf gate.
+# Every benchmark runs -count times (default 3, override with
+# BENCH_COUNT) and the snapshot records the per-metric median, so one
+# noisy sample — a CI neighbour stealing the core mid-run — cannot move
+# the reference or trip the gate.
+#
+# Compare mode diffs a fresh (median-of-count) run against the
+# committed snapshot instead of overwriting it: ns/op must stay within
+# the tolerance (default +/-25%, override with BENCH_TOL=0.40 etc.),
+# allocs/op must match exactly for lean benchmarks (reference < 32
+# allocs/op — the hot paths whose contract is an exact, usually zero,
+# count), batch benchmarks above that get +/-5% (amortized slice growth
+# divided by b.N rounds differently between runs), and every benchmark
+# in the snapshot must still exist. Exits nonzero on any regression —
+# `make ci` runs this as its perf gate.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,6 +31,7 @@ if [ "${1:-}" = "-compare" ]; then
 	shift
 fi
 benchtime="${1:-200ms}"
+count="${BENCH_COUNT:-3}"
 tol="${BENCH_TOL:-0.25}"
 ref="BENCH_sim.json"
 out="$ref"
@@ -40,10 +46,20 @@ if [ "$mode" = "compare" ]; then
 	out="$fresh"
 fi
 
-go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" \
+go test -run=NONE -bench=. -benchmem -benchtime="$benchtime" -count="$count" \
 	./internal/sim ./internal/core ./internal/fleet | tee "$tmp"
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v count="$count" '
+function median(arr, k, c,   i, j, t, v) {
+	for (i = 1; i <= c; i++) v[i] = arr[k, i]
+	for (i = 2; i <= c; i++) {
+		t = v[i]
+		for (j = i - 1; j >= 1 && v[j] > t; j--) v[j + 1] = v[j]
+		v[j + 1] = t
+	}
+	if (c % 2) return v[(c + 1) / 2]
+	return (v[c / 2] + v[c / 2 + 1]) / 2
+}
 /^pkg:/ { pkg = $2 }
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
@@ -56,13 +72,22 @@ awk -v benchtime="$benchtime" '
 		if ($(i) == "allocs/op") allocs = $(i - 1)
 	}
 	if (ns == "") next
-	row = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-		pkg, name, ns, bytes, allocs)
-	rows = rows (rows == "" ? "" : ",\n") row
+	k = pkg SUBSEP name
+	if (!(k in cnt)) { order[++n] = k; pkgof[k] = pkg; nameof[k] = name }
+	c = ++cnt[k]
+	nsv[k, c] = ns + 0; byv[k, c] = bytes + 0; alv[k, c] = allocs + 0
 }
 END {
+	for (i = 1; i <= n; i++) {
+		k = order[i]
+		row = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %.10g, \"bytes_per_op\": %.10g, \"allocs_per_op\": %.10g}",
+			pkgof[k], nameof[k],
+			median(nsv, k, cnt[k]), median(byv, k, cnt[k]), median(alv, k, cnt[k]))
+		rows = rows (rows == "" ? "" : ",\n") row
+	}
 	printf "{\n"
 	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"count\": %d,\n", count
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"benchmarks\": [\n%s\n  ]\n", rows
 	printf "}\n"
@@ -70,12 +95,12 @@ END {
 ' "$tmp" > "$out"
 
 if [ "$mode" = "snapshot" ]; then
-	echo "wrote $out"
+	echo "wrote $out (median of $count runs)"
 	exit 0
 fi
 
 echo ""
-echo "comparing against $ref (ns/op tolerance +/-$tol, allocs/op exact below 32, else +/-5%)"
+echo "comparing median-of-$count against $ref (ns/op tolerance +/-$tol, allocs/op exact below 32, else +/-5%)"
 awk -v tol="$tol" '
 function field(line, key,   re, s) {
 	re = "\"" key "\": \"?[^,}\"]*"
