@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate tracegate ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate tracegate serve-smoke ci
 
 all: build
 
@@ -58,26 +58,35 @@ errgate:
 tracegate:
 	scripts/tracegate.sh
 
+# serve-smoke: the server lifecycle gate — start hswsimd on a random
+# port, hit /healthz, run a cached and a coalesced request pair through
+# the smoke client, then SIGTERM and require exit 0 plus a flushed
+# drain manifest with zero failure counters.
+serve-smoke:
+	scripts/serve_smoke.sh
+
 # ci: the full gate, run as ordered named steps so a failure points at
 # the gate that tripped (a wheel concurrency bug should surface as
 # "race-full failed", not a generic test error) — vet, the
 # discarded-error and raw-buffer greps, the race-enabled full test
 # suite (includes the suite scheduler determinism test), benchmark
-# smoke, perf regression diff, and the serial-vs-forked-parallel golden
-# comparison.
+# smoke, perf regression diff, the serial-vs-forked-parallel golden
+# comparison, and the hswsimd server lifecycle smoke.
 ci:
-	@echo "==> ci step 1/7: vet"
+	@echo "==> ci step 1/8: vet"
 	@$(MAKE) --no-print-directory vet || { echo "ci: gate 'vet' failed — go vet ./... reported issues" >&2; exit 1; }
-	@echo "==> ci step 2/7: errgate"
+	@echo "==> ci step 2/8: errgate"
 	@$(MAKE) --no-print-directory errgate || { echo "ci: gate 'errgate' failed — discarded call result outside tests" >&2; exit 1; }
-	@echo "==> ci step 3/7: tracegate"
+	@echo "==> ci step 3/8: tracegate"
 	@$(MAKE) --no-print-directory tracegate || { echo "ci: gate 'tracegate' failed — raw trace.Buffer use outside internal/trace" >&2; exit 1; }
-	@echo "==> ci step 4/7: race-full"
+	@echo "==> ci step 4/8: race-full"
 	@$(MAKE) --no-print-directory race || { echo "ci: gate 'race-full' failed — data race or test failure under -race" >&2; exit 1; }
-	@echo "==> ci step 5/7: bench smoke"
+	@echo "==> ci step 5/8: bench smoke"
 	@$(MAKE) --no-print-directory bench || { echo "ci: gate 'bench' failed — a benchmark harness no longer runs" >&2; exit 1; }
-	@echo "==> ci step 6/7: bench-compare"
+	@echo "==> ci step 6/8: bench-compare"
 	@$(MAKE) --no-print-directory bench-compare || { echo "ci: gate 'bench-compare' failed — perf regression against BENCH_sim.json" >&2; exit 1; }
-	@echo "==> ci step 7/7: golden"
+	@echo "==> ci step 7/8: golden"
 	@$(MAKE) --no-print-directory golden || { echo "ci: gate 'golden' failed — serial vs parallel output diverged" >&2; exit 1; }
+	@echo "==> ci step 8/8: serve-smoke"
+	@$(MAKE) --no-print-directory serve-smoke || { echo "ci: gate 'serve-smoke' failed — hswsimd lifecycle (health/coalesce/drain) broke" >&2; exit 1; }
 	@echo "ci: all gates passed"

@@ -32,6 +32,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,6 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
 	if err := fs.Parse(args); err != nil {
+		// -h/-help is a successful outcome — the usage text was what
+		// the user asked for — not a flag error. With ContinueOnError
+		// it surfaces through the same error path as a genuine parse
+		// failure, so distinguish it explicitly.
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 

@@ -146,3 +146,29 @@ func TestUsageErrors(t *testing.T) {
 		t.Fatalf("missing unknown-id diagnostic, got:\n%s", stderr.String())
 	}
 }
+
+// TestHelpExitsZero is the regression test for the -h/-help path: with
+// flag.ContinueOnError, flag.ErrHelp used to fall through the generic
+// parse-error branch and exit 2 — breaking `experiments -h && ...`
+// scripting and CI probes. Usage on request is a success.
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "-help", "--help"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{arg}, &stdout, &stderr); code != 0 {
+			t.Errorf("run(%q) = %d, want 0", arg, code)
+		}
+		// The usage text itself still lands on stderr...
+		if !bytes.Contains(stderr.Bytes(), []byte("-run")) {
+			t.Errorf("run(%q) printed no usage text", arg)
+		}
+		// ...and no experiment output leaks to stdout.
+		if stdout.Len() != 0 {
+			t.Errorf("run(%q) wrote %d bytes to stdout", arg, stdout.Len())
+		}
+	}
+	// A genuine flag error still exits 2.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(bad flag) = %d, want 2", code)
+	}
+}

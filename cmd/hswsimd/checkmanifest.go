@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hswsim/internal/obs"
+)
+
+// runCheckManifest is the -check-manifest validator: it reads a drain
+// manifest and asserts the serving period was clean — the tool
+// identity matches, requests were actually served, and every failure
+// counter is zero. The CI serve-smoke gate runs it on the manifest a
+// SIGTERMed daemon flushed, so "drained cleanly" is checked from the
+// artifact, not from the exit code alone.
+func runCheckManifest(path string, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "check-manifest: "+format+"\n", args...)
+		return 1
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fail("not a manifest: %v", err)
+	}
+	if m.Tool != "hswsimd" {
+		return fail("tool = %q, want hswsimd", m.Tool)
+	}
+	if m.Failed != 0 {
+		return fail("manifest records %d failed runs", m.Failed)
+	}
+	if len(m.Metrics) == 0 {
+		return fail("manifest carries no metrics snapshot")
+	}
+	served := int64(0)
+	for _, mm := range m.Metrics {
+		if mm.Name == "server_requests_total" {
+			served += mm.Value
+		}
+	}
+	if served == 0 {
+		return fail("server_requests_total is zero: the manifest is not from a serving period")
+	}
+	for _, name := range []string{
+		"server_failures_total",
+		"expcache_put_failures_total",
+		"rapl_window_errors_total",
+	} {
+		mm, ok := m.Metric(name)
+		if !ok {
+			return fail("failure counter %s missing from the snapshot", name)
+		}
+		if mm.Value != 0 {
+			return fail("failure counter %s = %d, want 0", name, mm.Value)
+		}
+	}
+	fmt.Fprintf(stderr, "check-manifest: clean (%d requests served over %d ms, zero failure counters)\n", served, m.WallMS)
+	return 0
+}

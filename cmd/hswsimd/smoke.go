@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// runSmoke is the -smoke client: an end-to-end exercise of a serving
+// hswsimd from the outside — health, catalog, a cached request pair, a
+// coalesced request batch — asserting the serving counters moved the
+// way the semantics promise. The CI serve-smoke gate runs it against a
+// freshly started daemon before SIGTERMing it.
+func runSmoke(base string, stderr io.Writer) int {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "smoke: "+format+"\n", args...)
+		return 1
+	}
+
+	// Health.
+	body, code, _, err := get(client, base+"/healthz")
+	if err != nil || code != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		return fail("healthz: code %d body %q err %v", code, body, err)
+	}
+
+	// Catalog.
+	body, code, _, err = get(client, base+"/v1/experiments")
+	if err != nil || code != http.StatusOK {
+		return fail("experiments: code %d err %v", code, err)
+	}
+	var list []struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fail("experiments list not JSON: %v", err)
+	}
+	ids := map[string]bool{}
+	for _, e := range list {
+		ids[e.ID] = true
+	}
+	if !ids["tab1"] || !ids["tab3"] {
+		return fail("catalog missing expected experiments: %v", ids)
+	}
+
+	// Cached pair: the first run is live (or already cached from an
+	// earlier run against this cache dir), the second must replay.
+	req := `{"id":"tab1","scale":0.05}`
+	first, code, _, err := post(client, base+"/v1/run", req)
+	if err != nil || code != http.StatusOK {
+		return fail("run tab1 (1st): code %d body %q err %v", code, first, err)
+	}
+	second, code, hdr, err := post(client, base+"/v1/run", req)
+	if err != nil || code != http.StatusOK {
+		return fail("run tab1 (2nd): code %d err %v", code, err)
+	}
+	if hdr.Get("X-Hswsim-Cached") != "true" {
+		return fail("repeated tab1 request was not a cache hit")
+	}
+	if !bytes.Equal(first, second) {
+		return fail("cached tab1 bytes differ from the live run (%d vs %d B)", len(second), len(first))
+	}
+
+	// Coalesced batch: concurrent identical requests for an uncached
+	// tuple. Overlap is near-certain (a tab3 run takes far longer than
+	// request fan-out), but not guaranteed by construction — retry with
+	// a fresh tuple before declaring failure.
+	coalesced := false
+	for attempt := 0; attempt < 3 && !coalesced; attempt++ {
+		before, err := counter(client, base, "server_coalesced_total")
+		if err != nil {
+			return fail("metrics before coalescing batch: %v", err)
+		}
+		batchReq := fmt.Sprintf(`{"id":"tab3","scale":0.05,"seed":%d}`, 0x60401+attempt)
+		var wg sync.WaitGroup
+		bodies := make([][]byte, 8)
+		codes := make([]int, 8)
+		errs := make([]error, 8)
+		for i := range bodies {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				bodies[i], codes[i], _, errs[i] = post(client, base+"/v1/run", batchReq)
+			}(i)
+		}
+		wg.Wait()
+		for i := range bodies {
+			if errs[i] != nil || codes[i] != http.StatusOK {
+				return fail("coalescing batch client %d: code %d err %v", i, codes[i], errs[i])
+			}
+			if !bytes.Equal(bodies[i], bodies[0]) {
+				return fail("coalescing batch client %d: bytes differ within one tuple", i)
+			}
+		}
+		after, err := counter(client, base, "server_coalesced_total")
+		if err != nil {
+			return fail("metrics after coalescing batch: %v", err)
+		}
+		coalesced = after > before
+	}
+	if !coalesced {
+		return fail("server_coalesced_total never advanced across 3 concurrent batches")
+	}
+
+	// Clean-run counters: zero failures while the server is still up
+	// (the drain manifest re-checks after shutdown).
+	for _, name := range []string{"server_failures_total", "expcache_put_failures_total", "rapl_window_errors_total"} {
+		v, err := counter(client, base, name)
+		if err != nil {
+			return fail("metrics: %v", err)
+		}
+		if v != 0 {
+			return fail("failure counter %s = %d on a clean smoke run", name, v)
+		}
+	}
+	fmt.Fprintln(stderr, "smoke: ok (health, catalog, cached pair, coalesced batch, clean counters)")
+	return 0
+}
+
+func get(c *http.Client, url string) ([]byte, int, http.Header, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return b, resp.StatusCode, resp.Header, err
+}
+
+func post(c *http.Client, url, body string) ([]byte, int, http.Header, error) {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return b, resp.StatusCode, resp.Header, err
+}
+
+// counter scrapes one counter value from /metrics (Prometheus text:
+// "name value" lines; histograms and labeled families never match the
+// bare name exactly).
+func counter(c *http.Client, base, name string) (int64, error) {
+	body, code, _, err := get(c, base+"/metrics")
+	if err != nil || code != http.StatusOK {
+		return 0, fmt.Errorf("scrape /metrics: code %d err %w", code, err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("counter %s not found in /metrics", name)
+}

@@ -17,6 +17,14 @@ import (
 // Options scales experiment effort. Scale multiplies every measurement
 // duration and sample count: 1.0 reproduces the paper's procedure;
 // smaller values trade precision for speed (tests and quick runs).
+//
+// Every field must stay flat and comparable (scalars, strings, nested
+// value structs of the same): the rendered %#v of this struct is the
+// result-cache and server-coalescing key (internal/expcache). A
+// pointer, slice or map field would embed heap addresses and silently
+// make cache keys nondeterministic — TestOptionsFlatForCacheKey in
+// internal/expcache rejects such a field; read its comment before
+// changing either side.
 type Options struct {
 	Scale float64
 	Seed  uint64

@@ -283,10 +283,39 @@ func RunSuite(ids []string, o Options, csv bool, cache Cache, emit func(SuiteRes
 	}
 }
 
-// runOne resolves, caches and executes a single experiment.
-func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
+// RunLive executes one experiment live on a compute slot the caller
+// already holds, producing exactly the bytes runOne (and therefore the
+// `experiments` CLI) would render for the same (id, Options, csv)
+// tuple. It is the serving entry point: cmd/hswsimd admits a request
+// through its bounded queue, acquires a slot itself, and runs here —
+// so a server run can never bypass or double-acquire the scheduler.
+// Tracing and accounting match the suite path: when a span trace is
+// active the options are marked so platforms register, and the
+// per-experiment run counter increments.
+func RunLive(id string, o Options, csv bool) ([]byte, error) {
 	d, ok := Lookup(id)
 	if !ok {
+		return nil, fmt.Errorf("unknown experiment id %q", id)
+	}
+	if o.traceExp == "" && activeSpanTrace.Load() != nil {
+		o.traceExp = id
+	}
+	slotEnd := wallSpan("slot", id)
+	var buf bytes.Buffer
+	err := d.Run(o, &buf, csv)
+	if slotEnd != nil {
+		slotEnd()
+	}
+	if err != nil {
+		return nil, err
+	}
+	obs.ExpRuns.With(id).Inc()
+	return buf.Bytes(), nil
+}
+
+// runOne resolves, caches and executes a single experiment.
+func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
+	if _, ok := Lookup(id); !ok {
 		return SuiteResult{ID: id, Err: fmt.Errorf("unknown experiment id %q", id)}
 	}
 	if activeSpanTrace.Load() != nil {
@@ -302,12 +331,7 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 	}
 	expEnd := wallSpan("experiment", id)
 	sched.Acquire()
-	slotEnd := wallSpan("slot", id)
-	var buf bytes.Buffer
-	err := d.Run(o, &buf, csv)
-	if slotEnd != nil {
-		slotEnd()
-	}
+	out, err := RunLive(id, o, csv)
 	sched.Release()
 	if expEnd != nil {
 		expEnd()
@@ -315,9 +339,8 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 	if err != nil {
 		return SuiteResult{ID: id, Err: err, Elapsed: time.Since(start)}
 	}
-	obs.ExpRuns.With(id).Inc()
 	if cache != nil {
-		if perr := cache.Put(id, o, csv, buf.Bytes()); perr != nil {
+		if perr := cache.Put(id, o, csv, out); perr != nil {
 			// Not fatal (the output is in hand), but not silent: count
 			// every failure and warn once so a broken cache directory
 			// doesn't quietly disable caching for good.
@@ -327,7 +350,7 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 			})
 		}
 	}
-	return SuiteResult{ID: id, Output: buf.Bytes(), Elapsed: time.Since(start)}
+	return SuiteResult{ID: id, Output: out, Elapsed: time.Since(start)}
 }
 
 // putWarnOnce gates the once-per-process cache-put warning.

@@ -17,6 +17,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
+	"time"
 
 	"hswsim/internal/exp"
 	"hswsim/internal/obs"
@@ -37,12 +39,56 @@ type Dir struct {
 
 var _ exp.Cache = (*Dir)(nil)
 
-// Open creates (if needed) and opens a cache directory.
+// orphanMaxAge is how old a .put-* temp file must be before Open
+// sweeps it. Put writes and renames a temp within one call, so any temp
+// this old belongs to a writer that crashed between CreateTemp and
+// Rename; a generous margin keeps a concurrently-running slow writer's
+// live temp safe. Variable so tests can plant aged orphans.
+var orphanMaxAge = time.Hour
+
+// Open creates (if needed) and opens a cache directory, sweeping any
+// orphaned writer temp files a crashed process left behind.
 func Open(root string) (*Dir, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("expcache: %w", err)
 	}
+	sweepOrphans(root)
 	return &Dir{root: root, buildID: buildID()}, nil
+}
+
+// sweepOrphans removes .put-* temp files older than orphanMaxAge from
+// the two-level cache tree. A writer that dies between CreateTemp and
+// Rename leaks its temp forever otherwise — a long-lived server that
+// Opens the cache once per process would accumulate them without
+// bound. Sweep errors are ignored: a temp that cannot be statted or
+// removed now will be retried on the next Open.
+func sweepOrphans(root string) {
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-orphanMaxAge)
+	for _, sub := range dirs {
+		if !sub.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(root, sub.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), ".put-") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			if os.Remove(filepath.Join(root, sub.Name(), e.Name())) == nil {
+				obs.CacheOrphansSwept.Inc()
+			}
+		}
+	}
 }
 
 // entry is the on-disk envelope around one rendered output.
@@ -60,14 +106,27 @@ type entry struct {
 }
 
 // optionsKey canonicalizes exp.Options for keying. %#v spells out every
-// field, so options added later automatically become part of the key.
+// field, so options added later automatically become part of the key —
+// provided they stay flat and comparable (TestOptionsFlatForCacheKey
+// guards this: a pointer/slice/map field would embed addresses and make
+// the key nondeterministic across processes).
 func optionsKey(o exp.Options) string { return fmt.Sprintf("%#v", o) }
+
+// TupleKey canonicalizes a request tuple (experiment id, options,
+// output format) into the deterministic string this cache keys entries
+// by, minus the build identity (which is constant within one process).
+// cmd/hswsimd uses it as the singleflight coalescing key: two requests
+// with equal TupleKeys render byte-identical output, so one live run
+// can serve all of them.
+func TupleKey(id string, o exp.Options, csv bool) string {
+	return fmt.Sprintf("%s|%s|csv=%t", id, optionsKey(o), csv)
+}
 
 // path returns the entry file for a key tuple: two-level fan-out under
 // root, content-addressed by the hash of the full tuple.
 func (d *Dir) path(id string, o exp.Options, csv bool) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%s|csv=%t|%s",
-		entryVersion, id, optionsKey(o), csv, d.buildID)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%s",
+		entryVersion, TupleKey(id, o, csv), d.buildID)))
 	key := hex.EncodeToString(h[:])
 	return filepath.Join(d.root, key[:2], key+".json")
 }

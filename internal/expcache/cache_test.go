@@ -5,8 +5,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"hswsim/internal/exp"
+	"hswsim/internal/obs"
 )
 
 func open(t *testing.T) *Dir {
@@ -134,6 +136,52 @@ func TestMismatchedEnvelopeIsEvicted(t *testing.T) {
 	}
 	if _, err := os.Stat(p); !os.IsNotExist(err) {
 		t.Fatal("mismatched entry not evicted")
+	}
+}
+
+// TestOrphanTempSweep plants writer temp files as a crashed process
+// would leave them (created but never renamed) and checks Open's
+// age-based sweep: stale orphans are removed and counted, fresh temps
+// (a concurrent writer mid-Put) survive.
+func TestOrphanTempSweep(t *testing.T) {
+	root := t.TempDir()
+	sub := filepath.Join(root, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, ".put-1234crashed")
+	fresh := filepath.Join(sub, ".put-5678live")
+	entry := filepath.Join(sub, "abcd.json")
+	for _, p := range []string{stale, fresh, entry} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * orphanMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Age the real entry too: the sweep must key on the .put- prefix,
+	// never on age alone.
+	if err := os.Chtimes(entry, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.CacheOrphansSwept.Value()
+	if _, err := Open(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale orphan temp survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp removed by sweep: %v", err)
+	}
+	if _, err := os.Stat(entry); err != nil {
+		t.Errorf("old cache entry removed by sweep: %v", err)
+	}
+	if got := obs.CacheOrphansSwept.Value() - before; got != 1 {
+		t.Errorf("CacheOrphansSwept delta = %d, want 1", got)
 	}
 }
 

@@ -48,6 +48,12 @@ var (
 			100_000_000, 1_000_000_000, 10_000_000_000})
 	SchedSteals = std.Counter("sched_shard_steals_total",
 		"sharded fan-out work items claimed from another worker's shard")
+	SchedSlotCancels = std.Counter("sched_slot_acquire_cancels_total",
+		"cancellable slot waits abandoned (context done before a slot freed)")
+	SchedQueueDepth = std.Gauge("sched_queue_depth",
+		"callers currently waiting in a bounded admission queue")
+	SchedQueueSheds = std.Counter("sched_queue_shed_total",
+		"slot acquisitions rejected because the admission queue was at depth")
 
 	// Fleet driver: batch fork fan-out volume and round latency.
 	FleetNodes = std.Counter("fleet_nodes_forked_total",
@@ -74,6 +80,8 @@ var (
 		"corrupt or stale cache entries evicted on read")
 	CachePutFailures = std.Counter("expcache_put_failures_total",
 		"cache writes that failed (result not persisted; run unaffected)")
+	CacheOrphansSwept = std.Counter("expcache_orphans_swept_total",
+		"stale .put-* temp files left by crashed writers, removed on Open")
 
 	// Power integrator: change-driven segment accounting.
 	PowerSegReplays = std.Counter("power_segments_replayed_total",
@@ -93,6 +101,28 @@ var (
 		"leaf trace events overwritten in full event rings (trace truncated)")
 	HarnessSpans = std.Counter("harness_spans_total",
 		"wall-clock harness spans recorded (experiments, sweep points, scheduler slots)")
+
+	// Serving layer (cmd/hswsimd): request volume by endpoint, the
+	// coalescing and load-shedding outcomes, and live-run latency. The
+	// failure counter is part of the zero-on-clean-run contract below.
+	ServerRequests = std.CounterVec("server_requests_total",
+		"HTTP requests received, by endpoint", "endpoint")
+	ServerCoalesced = std.Counter("server_coalesced_total",
+		"run requests that joined an identical in-flight run instead of executing")
+	ServerCacheHits = std.Counter("server_cache_hits_total",
+		"run requests answered from the result cache without a live run")
+	ServerShed = std.Counter("server_shed_total",
+		"run requests rejected with 429 (admission queue at depth)")
+	ServerDrainRejects = std.Counter("server_drain_rejects_total",
+		"requests rejected with 503 because the server was draining")
+	ServerInflight = std.Gauge("server_inflight_runs",
+		"live experiment runs currently executing in the server")
+	ServerRunWall = std.Histogram("server_run_wall_ns",
+		"wall-clock latency of live (uncached, uncoalesced) server runs",
+		[]int64{1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+			10_000_000_000, 60_000_000_000})
+	ServerFailures = std.Counter("server_failures_total",
+		"run requests that failed with an internal error (HTTP 500)")
 
 	// Silent-failure counters: zero on a clean run, nonzero when a
 	// previously invisible degradation happened (surfaced by -report).

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// runResult is the outcome of one admitted run request, shaped for the
+// HTTP layer: a 200 carries the rendered body; anything else carries
+// the status and a message. Coalesced followers share the leader's
+// runResult verbatim, which is what makes "N identical requests, one
+// simulation" observable as N identical responses.
+type runResult struct {
+	body   []byte
+	cached bool
+	code   int    // HTTP status; http.StatusOK on success
+	errMsg string // body for non-200 results
+}
+
+// flightGroup coalesces concurrent identical requests (singleflight):
+// the first caller for a key becomes the leader and executes fn; every
+// caller that arrives while the flight is open waits for the leader and
+// shares its result. The key is the expcache tuple — two requests with
+// equal keys are guaranteed byte-identical output, so sharing is
+// always sound. Flights deregister before the result is published, so
+// a request arriving after completion starts a fresh flight (the
+// result cache, not the flight group, serves repeats).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+	// waiters counts callers currently blocked on another caller's
+	// flight — observability for tests that need a deterministic
+	// "everyone has coalesced" point before releasing a gated leader.
+	waiters atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	res  runResult
+}
+
+// do executes fn once per concurrently-requested key. It returns the
+// shared result and whether this caller was the leader; a follower
+// whose ctx ends before the leader finishes gets ctx.Err() instead
+// (its client is gone — the leader's run continues for the others).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() runResult) (runResult, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		defer g.waiters.Add(-1)
+		select {
+		case <-f.done:
+			return f.res, false, nil
+		case <-ctx.Done():
+			return runResult{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, true, nil
+}

@@ -1,0 +1,435 @@
+// Package server composes the existing pieces — the experiment
+// descriptor table (internal/exp), the process-wide slot scheduler
+// (internal/slots), the content-addressed result cache
+// (internal/expcache), the metrics registry (internal/obs) and the
+// virtual-time span tracer (internal/trace via exp) — into a
+// long-lived HTTP+JSON simulation service. cmd/hswsimd is the binary
+// around it.
+//
+// Serving shape, in request order:
+//
+//  1. Admission gate: a draining server rejects immediately (503); a
+//     valid request proceeds.
+//  2. Coalescing: requests singleflight on the expcache tuple key, so
+//     N identical in-flight requests cost one simulation — the case a
+//     fleet-sized experiment that many users ask for at once exists
+//     for.
+//  3. Cache: the flight leader consults expcache first; a hit replays
+//     bytes without touching the scheduler.
+//  4. Admission control: a live run acquires a compute slot through a
+//     bounded wait queue (slots.Queue) — waits are cancellable by the
+//     client, and a queue at depth sheds the request with 429 instead
+//     of letting the backlog grow.
+//  5. The run itself goes through exp.RunLive on the held slot, so a
+//     server run can never bypass or double-acquire the scheduler and
+//     its bytes are identical to the `experiments` CLI for the same
+//     tuple.
+//
+// Graceful drain: StartDrain stops admission, Drain waits for in-flight
+// requests (bounded by the caller's context) and flushes the obs
+// manifest, so an orchestrated SIGTERM loses no running work and leaves
+// a machine-readable record of the serving period.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hswsim/internal/exp"
+	"hswsim/internal/expcache"
+	"hswsim/internal/obs"
+	"hswsim/internal/slots"
+)
+
+// Config parameterizes a Server. The zero value serves with the
+// process-wide slot pool, no cache, a queue depth of 4x the pool and a
+// 1.0 scale ceiling.
+type Config struct {
+	// Cache is the result cache (nil disables caching). The server
+	// stores and replays rendered bytes through it exactly as the CLI
+	// does, so the two share entries when pointed at one directory.
+	Cache exp.Cache
+	// Pool is the compute-slot pool live runs draw on (nil =
+	// slots.Default(), shared with everything else in the process).
+	Pool *slots.Pool
+	// QueueDepth bounds how many run requests may wait for a slot at
+	// once; beyond it requests are shed with 429 (0 = 4x pool capacity).
+	QueueDepth int
+	// MaxScale rejects requests asking for more than this effort scale
+	// (0 = 1.0, the paper-fidelity ceiling). It is the knob that keeps
+	// one client from wedging the service with a pathological request.
+	MaxScale float64
+	// ManifestPath, when set, is where Drain flushes the obs manifest.
+	ManifestPath string
+	// Log receives request-level notes (nil = log.Default()).
+	Log *log.Logger
+
+	// runLive executes one experiment on a held slot (test seam;
+	// nil = exp.RunLive).
+	runLive func(id string, o exp.Options, csv bool) ([]byte, error)
+	// beforeRun, when set, is called by each flight leader with the
+	// tuple key after the cache miss and before admission (test seam
+	// for deterministic coalescing/shedding windows).
+	beforeRun func(key string)
+}
+
+// Server is the HTTP serving layer. Create with New, mount Handler,
+// shut down with StartDrain + Drain.
+type Server struct {
+	cfg      Config
+	pool     *slots.Pool
+	queue    *slots.Queue
+	flights  flightGroup
+	mux      *http.ServeMux
+	log      *log.Logger
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	// traceMu serializes traced runs (the span-trace recorder is
+	// process-global): normal runs hold it shared, a traced run holds
+	// it exclusively so no concurrent run's platforms leak into — or
+	// key themselves against — another request's trace.
+	traceMu sync.RWMutex
+	started time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = slots.Default()
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * pool.Cap()
+	}
+	if cfg.MaxScale <= 0 {
+		cfg.MaxScale = 1.0
+	}
+	if cfg.runLive == nil {
+		cfg.runLive = exp.RunLive
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = log.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		queue:   slots.NewQueue(pool, depth),
+		log:     lg,
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// runRequest is the POST /v1/run body. Zero Scale and Seed take the
+// CLI defaults (1.0, 0x5eed) so a minimal request names the same tuple
+// as a flagless `experiments -run <id>`.
+type runRequest struct {
+	ID    string  `json:"id"`
+	Scale float64 `json:"scale,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	CSV   bool    `json:"csv,omitempty"`
+
+	FleetNodes     int     `json:"fleet_nodes,omitempty"`
+	FleetSeed      uint64  `json:"fleet_seed,omitempty"`
+	FleetLeakSigma float64 `json:"fleet_leak_sigma,omitempty"`
+	FleetCeffSigma float64 `json:"fleet_ceff_sigma,omitempty"`
+	FleetVminSigma float64 `json:"fleet_vmin_sigma,omitempty"`
+}
+
+// options maps the request onto the exp.Options tuple.
+func (rq runRequest) options() exp.Options {
+	o := exp.Defaults()
+	if rq.Scale != 0 {
+		o.Scale = rq.Scale
+	}
+	if rq.Seed != 0 {
+		o.Seed = rq.Seed
+	}
+	o.Fleet = exp.FleetOptions{
+		Nodes: rq.FleetNodes, Seed: rq.FleetSeed,
+		LeakSigma: rq.FleetLeakSigma, CeffSigma: rq.FleetCeffSigma,
+		VminSigmaV: rq.FleetVminSigma,
+	}
+	return o
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	obs.ServerRequests.With("run").Inc()
+	if s.draining.Load() {
+		obs.ServerDrainRejects.Inc()
+		http.Error(w, "server draining; retry elsewhere", http.StatusServiceUnavailable)
+		return
+	}
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, ok := exp.Lookup(req.ID); !ok {
+		http.Error(w, fmt.Sprintf("unknown experiment id %q (GET /v1/experiments lists them)", req.ID), http.StatusNotFound)
+		return
+	}
+	if req.Scale < 0 || req.Scale > s.cfg.MaxScale {
+		http.Error(w, fmt.Sprintf("scale %g outside (0, %g]", req.Scale, s.cfg.MaxScale), http.StatusBadRequest)
+		return
+	}
+	traceMode := r.URL.Query().Get("trace")
+	switch traceMode {
+	case "", "chrome", "timeline":
+	default:
+		http.Error(w, `trace must be "chrome" or "timeline"`, http.StatusBadRequest)
+		return
+	}
+	o := req.options()
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	if traceMode != "" {
+		s.tracedRun(w, r, req, o, traceMode)
+		return
+	}
+
+	key := expcache.TupleKey(req.ID, o, req.CSV)
+	res, leader, err := s.flights.do(r.Context(), key, func() runResult {
+		return s.execute(r.Context(), req.ID, o, req.CSV, key)
+	})
+	if err != nil {
+		// This follower's client went away while the leader ran; the
+		// flight itself continues for everyone else.
+		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+		return
+	}
+	if !leader {
+		obs.ServerCoalesced.Inc()
+	}
+	if res.code != http.StatusOK {
+		http.Error(w, res.errMsg, res.code)
+		return
+	}
+	ct := "text/plain; charset=utf-8"
+	if req.CSV {
+		ct = "text/csv; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Hswsim-Cached", strconv.FormatBool(res.cached))
+	w.Header().Set("X-Hswsim-Coalesced", strconv.FormatBool(!leader))
+	w.Write(res.body)
+}
+
+// execute is the flight leader's body: cache, admission, live run,
+// cache store. Its runResult is shared by every coalesced follower.
+func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool, key string) runResult {
+	if s.cfg.Cache != nil {
+		if out, ok := s.cfg.Cache.Get(id, o, csv); ok {
+			obs.ServerCacheHits.Inc()
+			return runResult{body: out, cached: true, code: http.StatusOK}
+		}
+	}
+	if s.cfg.beforeRun != nil {
+		s.cfg.beforeRun(key)
+	}
+	if s.draining.Load() {
+		obs.ServerDrainRejects.Inc()
+		return runResult{code: http.StatusServiceUnavailable, errMsg: "server draining"}
+	}
+	if err := s.queue.Acquire(ctx); err != nil {
+		if errors.Is(err, slots.ErrSaturated) {
+			obs.ServerShed.Inc()
+			return runResult{code: http.StatusTooManyRequests, errMsg: "admission queue full; retry with backoff"}
+		}
+		return runResult{code: http.StatusServiceUnavailable, errMsg: "cancelled while queued for a compute slot"}
+	}
+	defer s.pool.Release()
+
+	obs.ServerInflight.Add(1)
+	defer obs.ServerInflight.Add(-1)
+	start := time.Now()
+	s.traceMu.RLock()
+	out, err := s.cfg.runLive(id, o, csv)
+	s.traceMu.RUnlock()
+	obs.ServerRunWall.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		obs.ServerFailures.Inc()
+		s.log.Printf("hswsimd: run %s failed: %v", id, err)
+		return runResult{code: http.StatusInternalServerError, errMsg: err.Error()}
+	}
+	if s.cfg.Cache != nil {
+		if perr := s.cfg.Cache.Put(id, o, csv, out); perr != nil {
+			obs.CachePutFailures.Inc()
+			s.log.Printf("hswsimd: cache put %s failed: %v", id, perr)
+		}
+	}
+	return runResult{body: out, code: http.StatusOK}
+}
+
+// tracedRun serves ?trace=chrome|timeline: a forced-live run under the
+// process-global span recorder, held exclusively so no concurrent
+// request pollutes (or is polluted by) the capture. The response body
+// is the trace export, not the rendered table — the -trace-vt file, on
+// demand per request. Traced runs never touch the cache or coalesce:
+// their tuple is marked (exp options carry the traced experiment), and
+// the capture is only valid for a run that was actually lived through.
+func (s *Server) tracedRun(w http.ResponseWriter, r *http.Request, req runRequest, o exp.Options, mode string) {
+	if err := s.queue.Acquire(r.Context()); err != nil {
+		if errors.Is(err, slots.ErrSaturated) {
+			obs.ServerShed.Inc()
+			http.Error(w, "admission queue full; retry with backoff", http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, "cancelled while queued for a compute slot", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.pool.Release()
+
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	st := exp.EnableSpanTrace(1 << 14)
+	defer exp.DisableSpanTrace()
+
+	obs.ServerInflight.Add(1)
+	start := time.Now()
+	_, err := s.cfg.runLive(req.ID, o, req.CSV)
+	obs.ServerRunWall.Observe(time.Since(start).Nanoseconds())
+	obs.ServerInflight.Add(-1)
+	if err != nil {
+		obs.ServerFailures.Inc()
+		s.log.Printf("hswsimd: traced run %s failed: %v", req.ID, err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var werr error
+	if mode == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		werr = st.WriteChrome(w)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		werr = st.WriteTimeline(w)
+	}
+	if werr != nil {
+		s.log.Printf("hswsimd: trace export for %s failed mid-stream: %v", req.ID, werr)
+	}
+}
+
+// experimentInfo is one GET /v1/experiments row.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	obs.ServerRequests.With("experiments").Inc()
+	list := make([]experimentInfo, 0, len(exp.Suite()))
+	for _, d := range exp.Suite() {
+		list = append(list, experimentInfo{ID: d.ID, Title: d.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(list); err != nil {
+		s.log.Printf("hswsimd: experiments list write failed: %v", err)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.ServerRequests.With("metrics").Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, obs.Snapshot()); err != nil {
+		s.log.Printf("hswsimd: metrics write failed: %v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	obs.ServerRequests.With("healthz").Inc()
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// StartDrain stops admission: /healthz flips to 503 (load balancers
+// stop routing here) and new run requests are rejected. In-flight runs
+// continue; call Drain to wait for them.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain completes a graceful shutdown: admission stops (if it had
+// not already), in-flight run requests finish — bounded by ctx — and
+// the obs manifest flushes to Config.ManifestPath. A deadline overrun
+// still flushes the manifest (recording whatever was still in flight)
+// before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var derr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		derr = fmt.Errorf("drain deadline exceeded with runs in flight: %w", ctx.Err())
+	}
+	if err := s.FlushManifest(); err != nil && derr == nil {
+		derr = err
+	}
+	return derr
+}
+
+// FlushManifest writes the obs manifest (tool identity, serving wall
+// time, full metrics snapshot) to Config.ManifestPath; a server without
+// one configured flushes nowhere and returns nil.
+func (s *Server) FlushManifest() error {
+	if s.cfg.ManifestPath == "" {
+		return nil
+	}
+	m := &obs.Manifest{
+		Tool: "hswsimd",
+		Args: map[string]string{
+			"queue_depth": strconv.Itoa(s.queue.Depth()),
+			"slots":       strconv.Itoa(s.pool.Cap()),
+			"max_scale":   fmt.Sprintf("%g", s.cfg.MaxScale),
+			"cache":       strconv.FormatBool(s.cfg.Cache != nil),
+		},
+		Failed:  int(obs.ServerFailures.Value()),
+		WallMS:  time.Since(s.started).Milliseconds(),
+		Metrics: obs.Snapshot(),
+	}
+	f, err := os.Create(s.cfg.ManifestPath)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}

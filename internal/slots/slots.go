@@ -20,7 +20,10 @@
 package slots
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"hswsim/internal/obs"
@@ -82,8 +85,95 @@ func (p *Pool) AcquireOr(done <-chan struct{}) bool {
 	}
 }
 
+// AcquireCtx waits for a compute slot until ctx is done, reporting
+// which happened. It is the admission-control primitive: a server
+// request waiting for compute capacity must stay cancellable (client
+// disconnect, drain deadline), unlike the batch paths that own the
+// process and can block in Acquire forever.
+func (p *Pool) AcquireCtx(ctx context.Context) error {
+	select {
+	case p.c <- struct{}{}:
+	default:
+		start := time.Now()
+		select {
+		case p.c <- struct{}{}:
+			wait := time.Since(start).Nanoseconds()
+			obs.SchedSlotWaitNS.Add(wait)
+			obs.SchedSlotWait.Observe(wait)
+		case <-ctx.Done():
+			obs.SchedSlotCancels.Inc()
+			return ctx.Err()
+		}
+	}
+	obs.SchedSlotAcquires.Inc()
+	obs.SchedSlotsBusy.Add(1)
+	return nil
+}
+
 // Release returns a held slot.
 func (p *Pool) Release() {
 	<-p.c
 	obs.SchedSlotsBusy.Add(-1)
+}
+
+// ErrSaturated reports that an admission queue was already holding its
+// maximum number of waiters — the caller should shed the work (an HTTP
+// server maps it to 429) rather than let the backlog grow without
+// bound.
+var ErrSaturated = errors.New("slots: admission queue saturated")
+
+// Queue is a bounded admission gate in front of a Pool: at most depth
+// callers may be waiting for a slot at any moment; any further Acquire
+// fails fast with ErrSaturated instead of joining the backlog. It is
+// how a serving layer converts unbounded queueing delay (every client
+// times out) into explicit load shedding (excess clients are told to
+// retry, admitted ones get real service).
+//
+// A Queue only bounds waiters, not holders: callers that get a slot
+// without waiting (pool not full) bypass the depth accounting entirely,
+// so the fast path stays two channel ops.
+type Queue struct {
+	p     *Pool
+	depth atomic.Int64
+	max   int64
+}
+
+// NewQueue builds an admission queue over p admitting at most depth
+// concurrent waiters (minimum 1).
+func NewQueue(p *Pool, depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{p: p, max: int64(depth)}
+}
+
+// Pool returns the underlying pool (Release goes straight to it).
+func (q *Queue) Pool() *Pool { return q.p }
+
+// Depth returns the configured maximum number of waiters.
+func (q *Queue) Depth() int { return int(q.max) }
+
+// Acquire obtains a slot, waiting in the bounded queue if the pool is
+// full. It returns nil on success (the caller must Release on the
+// pool), ErrSaturated when the queue is at depth, or ctx.Err() when the
+// context ends first.
+func (q *Queue) Acquire(ctx context.Context) error {
+	// Fast path: a free slot skips the queue accounting.
+	select {
+	case q.p.c <- struct{}{}:
+		obs.SchedSlotAcquires.Inc()
+		obs.SchedSlotsBusy.Add(1)
+		return nil
+	default:
+	}
+	if n := q.depth.Add(1); n > q.max {
+		q.depth.Add(-1)
+		obs.SchedQueueSheds.Inc()
+		return ErrSaturated
+	}
+	obs.SchedQueueDepth.Add(1)
+	err := q.p.AcquireCtx(ctx)
+	obs.SchedQueueDepth.Add(-1)
+	q.depth.Add(-1)
+	return err
 }

@@ -1,0 +1,143 @@
+package slots
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireCtxImmediate(t *testing.T) {
+	p := New(1)
+	if err := p.AcquireCtx(context.Background()); err != nil {
+		t.Fatalf("AcquireCtx on a free pool: %v", err)
+	}
+	p.Release()
+}
+
+func TestAcquireCtxCancelledWhileWaiting(t *testing.T) {
+	p := New(1)
+	p.Acquire() // occupy the only slot
+	defer p.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.AcquireCtx(ctx) }()
+	// Give the waiter time to block, then cancel it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AcquireCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled AcquireCtx never returned")
+	}
+}
+
+func TestAcquireCtxGetsSlotWhenReleased(t *testing.T) {
+	p := New(1)
+	p.Acquire()
+	done := make(chan error, 1)
+	go func() { done <- p.AcquireCtx(context.Background()) }()
+	time.Sleep(5 * time.Millisecond)
+	p.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AcquireCtx after release: %v", err)
+		}
+		p.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcquireCtx never acquired the freed slot")
+	}
+}
+
+// TestQueueShedsAtDepth pins the admission contract: with the pool full
+// and the queue holding its maximum number of waiters, the next Acquire
+// fails immediately with ErrSaturated instead of queueing.
+func TestQueueShedsAtDepth(t *testing.T) {
+	p := New(1)
+	q := NewQueue(p, 1)
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatalf("first Acquire (free pool): %v", err)
+	}
+
+	// One waiter is admitted to the queue...
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- q.Acquire(context.Background()) }()
+	// Wait until the waiter is actually counted.
+	for i := 0; q.depth.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if q.depth.Load() != 1 {
+		t.Fatalf("queue depth = %d, want 1", q.depth.Load())
+	}
+
+	// ...and the next caller is shed, deterministically and immediately.
+	if err := q.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated Acquire = %v, want ErrSaturated", err)
+	}
+
+	// Releasing the slot serves the queued waiter.
+	p.Release()
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+		p.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never got the slot")
+	}
+}
+
+func TestQueueFastPathSkipsDepth(t *testing.T) {
+	q := NewQueue(New(2), 1)
+	// Two immediate acquisitions on an empty pool never touch the queue.
+	for i := 0; i < 2; i++ {
+		if err := q.Acquire(context.Background()); err != nil {
+			t.Fatalf("fast-path Acquire %d: %v", i, err)
+		}
+	}
+	if q.depth.Load() != 0 {
+		t.Fatalf("fast path counted into queue depth: %d", q.depth.Load())
+	}
+	q.Pool().Release()
+	q.Pool().Release()
+}
+
+func TestQueueConcurrentChurn(t *testing.T) {
+	p := New(2)
+	q := NewQueue(p, 4)
+	var wg sync.WaitGroup
+	var served, shed sync.Map
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := q.Acquire(context.Background())
+			switch {
+			case err == nil:
+				time.Sleep(time.Millisecond)
+				p.Release()
+				served.Store(i, true)
+			case errors.Is(err, ErrSaturated):
+				shed.Store(i, true)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if q.depth.Load() != 0 {
+		t.Fatalf("queue depth not drained: %d", q.depth.Load())
+	}
+	n := 0
+	served.Range(func(_, _ any) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("no caller was ever served")
+	}
+}

@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve_smoke.sh — the server lifecycle gate: build hswsimd, start it on
+# a random port with a fresh cache and a manifest path, run the built-in
+# smoke client against it (health, catalog, a cached request pair, a
+# coalesced concurrent batch, clean failure counters), then SIGTERM it
+# and require a clean graceful drain: exit code 0 and a flushed obs
+# manifest whose failure counters are all zero (checked by the binary's
+# own -check-manifest validator, not by grepping JSON in shell).
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -KILL "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building hswsimd"
+go build -o "$tmp/hswsimd" ./cmd/hswsimd
+
+"$tmp/hswsimd" \
+	-addr 127.0.0.1:0 \
+	-addr-file "$tmp/addr" \
+	-cache-dir "$tmp/cache" \
+	-report "$tmp/manifest.json" \
+	-drain-timeout 60s \
+	2>"$tmp/server.log" &
+pid=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ] || ! kill -0 "$pid" 2>/dev/null; then
+		echo "serve-smoke: server never came up; log:" >&2
+		cat "$tmp/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: hswsimd up on $addr"
+
+"$tmp/hswsimd" -smoke "http://$addr" || {
+	echo "serve-smoke: smoke client failed; server log:" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+}
+
+echo "serve-smoke: sending SIGTERM"
+kill -TERM "$pid"
+code=0
+wait "$pid" || code=$?
+pid=""
+if [ "$code" -ne 0 ]; then
+	echo "serve-smoke: hswsimd exited $code after SIGTERM (want 0); log:" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+fi
+
+"$tmp/hswsimd" -check-manifest "$tmp/manifest.json" || {
+	echo "serve-smoke: drain manifest failed validation; server log:" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+}
+echo "serve-smoke: clean drain, manifest validated"
