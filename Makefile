@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate tracegate serve-smoke ci
+.PHONY: all build test vet race bench bench-snapshot bench-compare golden errgate tracegate eprofgate serve-smoke ci
 
 all: build
 
@@ -58,6 +58,14 @@ errgate:
 tracegate:
 	scripts/tracegate.sh
 
+# eprofgate: the energy-profiler gate — a scale-0.25 full-suite run
+# with -eprof must leave stdout byte-identical, emit pprof protobuf
+# that decodes in-process (no external tools) with nonzero samples,
+# and emit folded stacks whose column sum equals the manifest's total
+# energy exactly (integer nanojoules).
+eprofgate:
+	$(GO) test -count=1 -run 'TestEprofGate' ./cmd/experiments
+
 # serve-smoke: the server lifecycle gate — start hswsimd on a random
 # port, hit /healthz, run a cached and a coalesced request pair through
 # the smoke client, then SIGTERM and require exit 0 plus a flushed
@@ -73,20 +81,22 @@ serve-smoke:
 # smoke, perf regression diff, the serial-vs-forked-parallel golden
 # comparison, and the hswsimd server lifecycle smoke.
 ci:
-	@echo "==> ci step 1/8: vet"
+	@echo "==> ci step 1/9: vet"
 	@$(MAKE) --no-print-directory vet || { echo "ci: gate 'vet' failed — go vet ./... reported issues" >&2; exit 1; }
-	@echo "==> ci step 2/8: errgate"
+	@echo "==> ci step 2/9: errgate"
 	@$(MAKE) --no-print-directory errgate || { echo "ci: gate 'errgate' failed — discarded call result outside tests" >&2; exit 1; }
-	@echo "==> ci step 3/8: tracegate"
+	@echo "==> ci step 3/9: tracegate"
 	@$(MAKE) --no-print-directory tracegate || { echo "ci: gate 'tracegate' failed — raw trace.Buffer use outside internal/trace" >&2; exit 1; }
-	@echo "==> ci step 4/8: race-full"
+	@echo "==> ci step 4/9: race-full"
 	@$(MAKE) --no-print-directory race || { echo "ci: gate 'race-full' failed — data race or test failure under -race" >&2; exit 1; }
-	@echo "==> ci step 5/8: bench smoke"
+	@echo "==> ci step 5/9: bench smoke"
 	@$(MAKE) --no-print-directory bench || { echo "ci: gate 'bench' failed — a benchmark harness no longer runs" >&2; exit 1; }
-	@echo "==> ci step 6/8: bench-compare"
+	@echo "==> ci step 6/9: bench-compare"
 	@$(MAKE) --no-print-directory bench-compare || { echo "ci: gate 'bench-compare' failed — perf regression against BENCH_sim.json" >&2; exit 1; }
-	@echo "==> ci step 7/8: golden"
+	@echo "==> ci step 7/9: golden"
 	@$(MAKE) --no-print-directory golden || { echo "ci: gate 'golden' failed — serial vs parallel output diverged" >&2; exit 1; }
-	@echo "==> ci step 8/8: serve-smoke"
+	@echo "==> ci step 8/9: eprofgate"
+	@$(MAKE) --no-print-directory eprofgate || { echo "ci: gate 'eprofgate' failed — energy profile broke stdout identity or attribution totals" >&2; exit 1; }
+	@echo "==> ci step 9/9: serve-smoke"
 	@$(MAKE) --no-print-directory serve-smoke || { echo "ci: gate 'serve-smoke' failed — hswsimd lifecycle (health/coalesce/drain) broke" >&2; exit 1; }
 	@echo "ci: all gates passed"

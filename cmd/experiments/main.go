@@ -27,6 +27,13 @@
 // format. Both are strictly out-of-band: the rendered experiment bytes
 // on stdout are identical with or without them.
 //
+// -eprof writes the run's virtual-time energy profile — every simulated
+// Joule and nanosecond attributed to experiment → phase → socket → core
+// → power component → kernel/AVX/p-state stacks — as pprof protobuf
+// (.pb/.pb.gz/.pprof) or folded flamegraph stacks (any other path). It
+// is out-of-band like -report, forces live runs like -trace-vt, and is
+// deterministic: the same request emits byte-identical profiles.
+//
 // -cpuprofile, -memprofile and -trace write standard runtime profiles
 // of the run for `go tool pprof` / `go tool trace`.
 package main
@@ -71,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reportPath := fs.String("report", "", "write a JSON run manifest (status + metrics) to this file and summarize it on stderr")
 	promPath := fs.String("report-prom", "", "write the metrics snapshot in Prometheus text format to this file")
 	traceVT := fs.String("trace-vt", "", "write the run's virtual-time span trace to this file (.json = Chrome trace-event format for Perfetto, anything else = text timeline); forces live runs")
+	eprofPath := fs.String("eprof", "", "write the run's virtual-time energy profile to this file (.pb, .pb.gz or .pprof = pprof protobuf for `go tool pprof`/Speedscope, anything else = folded flamegraph stacks); forces live runs")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file")
@@ -128,6 +136,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		memProfileFile = f
 	}
+	// The energy profile opens up front for the same reason -memprofile
+	// does: a bad path must fail fast with exit 2, not silently after a
+	// long run.
+	var eprofFile *os.File
+	if *eprofPath != "" {
+		f, err := os.Create(*eprofPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "eprof: %v\n", err)
+			return 2
+		}
+		eprofFile = f
+	}
 	code := runBody(runFlags{
 		runIDs:     *runIDs,
 		scale:      *scale,
@@ -141,6 +161,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report:     *reportPath,
 		prom:       *promPath,
 		traceVT:    *traceVT,
+		eprof:      *eprofPath,
+		eprofFile:  eprofFile,
 	}, fs, stdout, stderr)
 	if memProfileFile != nil {
 		if err := writeMemProfile(memProfileFile); err != nil {
@@ -177,6 +199,8 @@ type runFlags struct {
 	report     string
 	prom       string
 	traceVT    string
+	eprof      string
+	eprofFile  *os.File
 }
 
 // runBody resolves the request and runs the suite — everything between
@@ -244,6 +268,16 @@ func runBody(fl runFlags, fs *flag.FlagSet, stdout, stderr io.Writer) int {
 		spanTrace = exp.EnableSpanTrace(1 << 14)
 		defer exp.DisableSpanTrace()
 	}
+	// Energy profiling likewise comes from living through the run.
+	var eprofRec *exp.EnergyProfile
+	if fl.eprofFile != nil {
+		if cache != nil {
+			fmt.Fprintln(stderr, "note: -eprof forces live runs (result cache bypassed)")
+			cache = nil
+		}
+		eprofRec = exp.EnableEnergyProfile()
+		defer exp.DisableEnergyProfile()
+	}
 	// Wall-clock harness spans cost one lock per experiment/point/slot;
 	// record them whenever some out-of-band report will surface them.
 	var harness *trace.WallCollector
@@ -297,12 +331,22 @@ func runBody(fl runFlags, fs *flag.FlagSet, stdout, stderr io.Writer) int {
 			failed++
 		}
 	}
+	if eprofRec != nil {
+		if err := writeEprof(fl.eprof, fl.eprofFile, eprofRec); err != nil {
+			fmt.Fprintf(stderr, "eprof: %v\n", err)
+			failed++
+		}
+	}
 	if fl.report != "" || fl.prom != "" {
 		manifest.Failed = failed
 		manifest.WallMS = time.Since(wallStart).Milliseconds()
 		manifest.Metrics = obs.Snapshot()
 		if spanTrace != nil {
 			manifest.Traces = spanTrace.Infos()
+		}
+		if eprofRec != nil {
+			info := eprofRec.Info()
+			manifest.Profile = &info
 		}
 		for _, cat := range harness.Summary() {
 			manifest.Harness = append(manifest.Harness, obs.HarnessCat{
@@ -343,6 +387,24 @@ func writeSpanTrace(path string, st *exp.SpanTrace) error {
 		werr = st.WriteChrome(f)
 	} else {
 		werr = st.WriteTimeline(f)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// writeEprof exports the captured energy profile into the
+// already-open file: pprof protobuf for .pb/.pb.gz/.pprof paths,
+// folded flamegraph stacks otherwise.
+func writeEprof(path string, f *os.File, rec *exp.EnergyProfile) error {
+	var werr error
+	if strings.HasSuffix(path, ".pb") || strings.HasSuffix(path, ".pb.gz") ||
+		strings.HasSuffix(path, ".pprof") {
+		werr = rec.WritePprof(f, "")
+	} else {
+		werr = rec.WriteFolded(f)
 	}
 	if werr != nil {
 		f.Close()

@@ -15,6 +15,11 @@
 //	                      `experiments -run tab3` for the same tuple.
 //	                      ?trace=chrome|timeline streams the run's
 //	                      virtual-time span trace instead.
+//	GET  /v1/profile      ?id=tab3&type=energy|vtime → a forced-live
+//	                      run's virtual-time energy profile as gzipped
+//	                      pprof protobuf (go tool pprof / Speedscope).
+//	GET  /v1/stream       → sampled metrics time-series as Server-Sent
+//	                      Events (Last-Event-ID resumes the stream).
 //	GET  /v1/experiments  → the experiment catalog (id + title).
 //	GET  /metrics         → Prometheus text from the obs registry.
 //	GET  /healthz         → 200 serving / 503 draining.
@@ -23,6 +28,10 @@
 // results are cached in the same on-disk result cache the CLI uses;
 // live runs are admitted through a bounded wait queue on the shared
 // compute-slot pool, shedding load with 429 past the depth limit.
+// Every /v1 response carries an X-Request-ID (client-provided or
+// generated), and -access-log writes one structured line per request.
+// -debug-addr opens a second listener with net/http/pprof — kept off
+// the serving address so production traffic never exposes it.
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight runs
 // finish (bounded by -drain-timeout), and the obs manifest flushes to
 // -report. docs/SERVER.md is the full API and semantics reference.
@@ -36,6 +45,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxScale := fs.Float64("max-scale", 1.0, "reject run requests above this effort scale")
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "graceful-drain deadline after SIGINT/SIGTERM")
 	reportPath := fs.String("report", "", "flush the obs manifest JSON here on shutdown")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	accessLog := fs.String("access-log", "", "append per-request access-log lines to this file (\"-\" = stderr)")
+	sampleInterval := fs.Duration("sample-interval", time.Second, "metrics time-series sampling period behind /v1/stream")
 	smoke := fs.String("smoke", "", "run the smoke client against a serving hswsimd at this base URL, then exit")
 	checkManifest := fs.String("check-manifest", "", "validate a drain manifest (clean run, zero failure counters), then exit")
 	if err := fs.Parse(args); err != nil {
@@ -80,9 +93,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := server.Config{
-		QueueDepth:   *queueDepth,
-		MaxScale:     *maxScale,
-		ManifestPath: *reportPath,
+		QueueDepth:     *queueDepth,
+		MaxScale:       *maxScale,
+		ManifestPath:   *reportPath,
+		SampleInterval: *sampleInterval,
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "hswsimd: access-log: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.AccessLog = f
 	}
 	if !*noCache && *cacheDir != "" {
 		c, err := expcache.Open(*cacheDir)
@@ -108,6 +135,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stderr, "hswsimd: listening on %s\n", bound)
+
+	// The Go-runtime pprof handlers live on their own listener: they
+	// expose heap contents and can stall the process, so they must
+	// never be reachable through the serving address.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "hswsimd: debug listen: %v\n", err)
+			ln.Close()
+			return 1
+		}
+		debugSrv = &http.Server{Handler: debugMux()}
+		fmt.Fprintf(stderr, "hswsimd: debug (net/http/pprof) on %s\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(stderr, "hswsimd: debug serve: %v\n", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -139,10 +186,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hswsimd: drain: %v\n", err)
 		code = 1
 	}
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	if code == 0 {
 		fmt.Fprintln(stderr, "hswsimd: drained cleanly")
 	}
 	return code
+}
+
+// debugMux mounts the net/http/pprof handlers on a fresh mux (the
+// package's init registers them only on http.DefaultServeMux, which we
+// never serve).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // defaultCacheDir mirrors cmd/experiments: the two tools share cache

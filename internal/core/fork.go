@@ -274,6 +274,8 @@ func (s *System) populateFork(n *System, reused bool) {
 		releaseTo:     s.pool,
 		statesBuf:     statesBuf,
 		trace:         s.trace.Clone(),
+		eprof:         s.eprof.Fork(),
+		raplJoules:    s.raplJoules,
 	}
 	if reused {
 		s.msrDev.ForkInto(device, n)
@@ -285,6 +287,9 @@ func (s *System) populateFork(n *System, reused bool) {
 	n.traceSpansFlushed = n.trace.SpansRecorded()
 	n.traceSpanDropsFlushed = n.trace.SpanDrops()
 	n.traceEventDropsFlushed = n.trace.EventDrops()
+	if n.eprof != nil {
+		n.eprofSegsFlushed = n.eprof.Segments()
+	}
 
 	for i, sk := range s.sockets {
 		sk.forkInto(n.sockets[i], n)
@@ -341,6 +346,7 @@ func (sk *Socket) forkInto(nk *Socket, sys *System) {
 	// or rewrites them, and the residency slab is seated below.
 	residSlab := nk.residSlab
 	oldMemo := nk.memo
+	eplanEntries := nk.eplan.Detach()
 	loadsBuf, coresBuf, statesBuf, resultsBuf, telCores :=
 		nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores
 
@@ -357,6 +363,10 @@ func (sk *Socket) forkInto(nk *Socket, sys *System) {
 	nk.opDirty = true
 	nk.segValid = false
 	nk.memo = oldMemo
+	// The attribution plan points at the parent collector's buckets and
+	// is invalid in the child (opDirty forces a rebuild before the first
+	// Apply); reseat the harvested private backing.
+	nk.eplan.Attach(eplanEntries)
 	nk.Power.ResetScratch()
 	nk.loadsBuf, nk.coresBuf, nk.statesBuf, nk.resultsBuf, nk.telCores =
 		loadsBuf, coresBuf, statesBuf, resultsBuf, telCores

@@ -3,6 +3,7 @@ package core
 import (
 	"hswsim/internal/cache"
 	"hswsim/internal/cstate"
+	"hswsim/internal/eprof"
 	"hswsim/internal/fivr"
 	"hswsim/internal/pcu"
 	"hswsim/internal/perfctr"
@@ -84,6 +85,14 @@ type Socket struct {
 	// sockets start at zero and count their own segments.
 	statReplay, statFull               uint64
 	statReplayFlushed, statFullFlushed uint64
+
+	// eplan is the energy profiler's attribution plan for the memoized
+	// segment: one prebuilt (bucket, rate) entry per power-model term,
+	// rebuilt alongside the memo on full segments and executed on every
+	// segment (see rebuildEplan). Only populated while System.eprof is
+	// armed; its backing array is harvested/reseated by forkInto like
+	// the other scratch buffers.
+	eplan eprof.Plan
 
 	// Scratch buffers for the per-segment integration (hot path).
 	loadsBuf   []cache.CoreLoad
@@ -387,6 +396,11 @@ func (sk *Socket) integrateSteady(dt sim.Time) float64 {
 	pkg := sk.Power.Replay(&sk.memo)
 	pkgW := pkg.Total()
 	dramW := sk.segDRAMW
+	// Attribution must see the same temperature factor Replay used, so
+	// it runs before UpdateTemp mutates it.
+	if ep := sk.sys.eprof; ep != nil {
+		ep.Apply(&sk.eplan, dt.Seconds(), int64(dt), sk.Power.TempFactor())
+	}
 	sk.Power.UpdateTemp(pkgW, dt)
 	sk.RAPL.Integrate(pkgW, pkg.CoresDynamic+pkg.Leakage, dramW, sk.segEV, dt)
 	sk.uncoreCtr.Advance(dt, sk.segUncGHz)
@@ -495,6 +509,15 @@ func (sk *Socket) integrateFull(from sim.Time, dt sim.Time) float64 {
 	pkgW := pkg.Total()
 	dramW := sk.Cache.IMC.PowerWatts(sk.dramGBs)
 
+	// The operating point just changed: rebuild the attribution plan
+	// from the fresh memo, then attribute this segment. Runs before
+	// UpdateTemp for the same reason the memo's leakage is split into
+	// base × temperature factor — attribution must reproduce exactly
+	// the arithmetic ComputeMemoized folded into pkg.Leakage.
+	if ep := sk.sys.eprof; ep != nil {
+		sk.rebuildEplan(ep, dramW)
+		ep.Apply(&sk.eplan, dt.Seconds(), int64(dt), sk.Power.TempFactor())
+	}
 	sk.Power.UpdateTemp(pkgW, dt)
 	sk.RAPL.Integrate(pkgW, pkg.CoresDynamic+pkg.Leakage, dramW, ev, dt)
 	sk.uncoreCtr.Advance(dt, uncoreGHz)
@@ -509,6 +532,38 @@ func (sk *Socket) integrateFull(from sim.Time, dt sim.Time) float64 {
 	// input — so the cached per-core telemetry no longer matches.
 	sk.telChanged()
 	return sk.RAPLDomainsPowerW(pkgW, dramW)
+}
+
+// rebuildEplan rebuilds the attribution plan from the just-refreshed
+// segment memo: one entry per nonzero power-model term, resolving (or
+// creating) the profiler bucket each term accumulates into. Dynamic
+// entries are kept even at 0 W so an active core's virtual time is
+// attributed; power-gated cores (leak scale 0) get no bucket at all —
+// that is a modeling statement, not an omission: C6 cores draw nothing
+// the package can attribute.
+func (sk *Socket) rebuildEplan(ep *eprof.Collector, dramW float64) {
+	// Flush integrals pending under the outgoing entries (and register
+	// the plan with ep on first contact) before rewriting them.
+	ep.SyncPlan(&sk.eplan)
+	sk.eplan.Reset()
+	for _, c := range sk.coresBuf {
+		b := ep.BucketDynamic(sk.Index, c.CPU, c.kernel.Name(), c.avxMode,
+			uint32(c.dom.Granted()))
+		sk.eplan.AddConst(b, sk.memo.Dyn(c.Index))
+	}
+	for i, c := range sk.cores {
+		if s := sk.memo.LeakScale(i); s != 0 {
+			b := ep.BucketLeakage(sk.Index, c.CPU, uint8(c.cstateNow), c.cstateNow.String())
+			sk.eplan.AddLeak(b, sk.memo.LeakBase(i), s)
+		}
+	}
+	if u := sk.memo.Uncore(); u != 0 {
+		sk.eplan.AddConst(ep.BucketSocket(sk.Index, eprof.CompUncore, uint32(sk.UncoreMHz())), u)
+	}
+	sk.eplan.AddConst(ep.BucketSocket(sk.Index, eprof.CompStatic, 0), sk.memo.Static())
+	if dramW != 0 {
+		sk.eplan.AddConst(ep.BucketSocket(sk.Index, eprof.CompDRAM, 0), dramW)
+	}
 }
 
 // RAPLDomainsPowerW sums the power of the RAPL-visible domains.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hswsim/internal/cstate"
+	"hswsim/internal/eprof"
 	"hswsim/internal/msr"
 	"hswsim/internal/obs"
 	"hswsim/internal/pcu"
@@ -151,6 +152,20 @@ type System struct {
 	traceSpansFlushed      uint64
 	traceSpanDropsFlushed  uint64
 	traceEventDropsFlushed uint64
+
+	// eprof is nil unless EnableEnergyProfile was called; the sockets'
+	// integration paths guard on it (the disabled cost is one nil
+	// check). Forks carry a COW clone so child accumulation never
+	// touches the parent (see populateFork).
+	eprof *eprof.Collector
+	// eprofSegsFlushed mirrors the collector's segment count at the
+	// last flushObs (delta pattern, same as the trace counters).
+	eprofSegsFlushed uint64
+
+	// raplJoules accumulates total RAPL-domain energy (package + DRAM)
+	// chronologically across integrateTo — the reference total the
+	// profiler's summed attribution is checked against.
+	raplJoules float64
 }
 
 // EnableTrace starts recording platform activity into a span-based
@@ -180,6 +195,48 @@ func (s *System) EnableTrace(capacity int) *trace.Collector {
 
 // Trace returns the trace collector (nil when tracing is disabled).
 func (s *System) Trace() *trace.Collector { return s.trace }
+
+// EnableEnergyProfile arms the virtual-time energy profiler: from this
+// instant every integration segment attributes its Joules and
+// nanoseconds into the returned collector (root is the profile's root
+// frame, typically the experiment label). Integrates up to now first —
+// energy before enablement is deliberately unattributed — and dirties
+// every socket so the next segment rebuilds its attribution plan.
+func (s *System) EnableEnergyProfile(root string) *eprof.Collector {
+	s.integrateTo(s.Engine.Now())
+	s.eprof = eprof.NewCollector(root)
+	s.eprofSegsFlushed = 0
+	for _, sk := range s.sockets {
+		sk.markDirty()
+	}
+	return s.eprof
+}
+
+// EnergyProfile returns the profiler collector (nil when disabled).
+func (s *System) EnergyProfile() *eprof.Collector { return s.eprof }
+
+// SetEnergyPhase closes the current attribution phase at the present
+// virtual instant and opens a new one: subsequent segments accumulate
+// under the new phase frame. No-op when profiling is disabled.
+func (s *System) SetEnergyPhase(name string) {
+	if s.eprof == nil {
+		return
+	}
+	s.integrateTo(s.Engine.Now())
+	s.eprof.SetPhase(name)
+	// Existing plans point at old-phase buckets; force rebuilds.
+	for _, sk := range s.sockets {
+		sk.markDirty()
+	}
+}
+
+// TotalRAPLEnergyJ returns the cumulative RAPL-domain energy (package +
+// DRAM, all sockets) integrated since construction — the ground truth
+// the profiler's summed attribution must match.
+func (s *System) TotalRAPLEnergyJ() float64 {
+	s.integrateTo(s.Engine.Now())
+	return s.raplJoules
+}
 
 // NewSystem builds and starts the platform clockwork (PCU grids and the
 // power meter are armed; no workload runs yet).
@@ -334,6 +391,12 @@ func (s *System) flushObs() {
 			s.traceEventDropsFlushed = v
 		}
 	}
+	if ep := s.eprof; ep != nil {
+		if v := ep.Segments(); v > s.eprofSegsFlushed {
+			obs.EprofSegments.Add(int64(v - s.eprofSegsFlushed))
+			s.eprofSegsFlushed = v
+		}
+	}
 }
 
 // meterTick is the LMG450 sample event: one persistent periodic timer
@@ -365,6 +428,7 @@ func (s *System) integrateTo(now sim.Time) {
 	for _, sk := range s.sockets {
 		totalRAPL += sk.integrate(s.lastIntegrate, dt)
 	}
+	s.raplJoules += totalRAPL * dt.Seconds()
 	ac := s.cfg.Node.ACWatts(totalRAPL)
 	s.acJoules += ac * dt.Seconds()
 	s.lastACPower = ac

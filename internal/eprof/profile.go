@@ -1,0 +1,105 @@
+package eprof
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile is a collector's accumulation rendered for export: one line
+// per distinct frame stack, energy quantized to integer nanojoules,
+// lines sorted lexicographically by stack. The quantize-then-sum order
+// makes TotalEnergyNJ an exact integer invariant: the folded file's
+// column sum, the pprof sample sum, and the manifest's recorded total
+// are all the same int64.
+type Profile struct {
+	Lines []Line
+	// DurationNS is the profile's wall span in virtual nanoseconds
+	// (max per-bucket vtime — buckets tick concurrently, not serially).
+	DurationNS int64
+}
+
+// Line is one rendered stack with its quantized values.
+type Line struct {
+	Frames   []string // root-first
+	EnergyNJ int64
+	VTimeNS  int64
+}
+
+// Build renders the collector into an export Profile. Multiple
+// collectors merge into one profile (the exp layer passes one per
+// registered platform); buckets whose rendered frames collide are
+// summed after quantization.
+func Build(collectors ...*Collector) *Profile {
+	agg := map[string]*Line{}
+	var dur int64
+	for _, c := range collectors {
+		if c == nil {
+			continue
+		}
+		c.flushAll()
+		for i := range c.stacks {
+			e := int64(math.Round(c.energy[i] * 1e9))
+			v := c.vtime[i]
+			if e == 0 && v == 0 {
+				continue
+			}
+			frames := c.stacks[i].appendFrames(nil, c.root)
+			k := strings.Join(frames, ";")
+			if l, ok := agg[k]; ok {
+				l.EnergyNJ += e
+				l.VTimeNS += v
+			} else {
+				agg[k] = &Line{Frames: frames, EnergyNJ: e, VTimeNS: v}
+			}
+			if v > dur {
+				dur = v
+			}
+		}
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p := &Profile{Lines: make([]Line, 0, len(keys)), DurationNS: dur}
+	for _, k := range keys {
+		p.Lines = append(p.Lines, *agg[k])
+	}
+	return p
+}
+
+// TotalEnergyNJ is the exact integer sum of all quantized line
+// energies — the manifest records this value, and the CI gate checks
+// the folded file re-sums to it.
+func (p *Profile) TotalEnergyNJ() int64 {
+	var t int64
+	for i := range p.Lines {
+		t += p.Lines[i].EnergyNJ
+	}
+	return t
+}
+
+// TotalVTimeNS is the integer sum of all line virtual times.
+func (p *Profile) TotalVTimeNS() int64 {
+	var t int64
+	for i := range p.Lines {
+		t += p.Lines[i].VTimeNS
+	}
+	return t
+}
+
+// WriteFolded emits flamegraph folded stacks: "a;b;c value" lines,
+// value in nanojoules (energy profile). flamegraph.pl and Speedscope
+// consume this directly.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for i := range p.Lines {
+		l := &p.Lines[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(l.Frames, ";"), l.EnergyNJ); err != nil {
+			return err
+		}
+	}
+	return nil
+}

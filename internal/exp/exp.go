@@ -41,6 +41,13 @@ type Options struct {
 	// must never replay cached bytes — the trace comes from living
 	// through the run.
 	traceExp string
+
+	// eprofExp is traceExp's analog for the energy profiler: set by
+	// runOne/RunLive while a profile recorder is installed, carried
+	// into newSystem, and — being part of the %#v cache key — keeps
+	// profiled runs from ever replaying cached bytes (the profile comes
+	// from living through the run).
+	eprofExp string
 }
 
 // Defaults returns full-fidelity options.

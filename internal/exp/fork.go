@@ -1,6 +1,9 @@
 package exp
 
-import "hswsim/internal/core"
+import (
+	"hswsim/internal/core"
+	"hswsim/internal/eprof"
+)
 
 // forkMap runs fn over items on the shared slot pool, handing each item
 // an independent fork of the warmed parent platform. A fork carries the
@@ -22,14 +25,36 @@ import "hswsim/internal/core"
 // return — every point callback in this package extracts plain result
 // values, which is what makes the release safe.
 func forkMap[T, R any](parent *core.System, items []T, fn func(*core.System, T) (R, error)) ([]R, error) {
-	return parallelMap(items, func(it T) (R, error) {
-		sys, err := parent.Fork()
-		if err != nil {
+	pep := parent.EnergyProfile()
+	// deltas[i] is point i's energy-profile accumulation, extracted
+	// from the child's COW-cloned collector before release and merged
+	// back after the barrier — in point order, so the parent profile is
+	// byte-identical to a serial sweep no matter how the points
+	// interleaved. Points are dispatched by index so each knows its
+	// merge slot.
+	var deltas [][]eprof.Sample
+	if pep != nil {
+		deltas = make([][]eprof.Sample, len(items))
+	}
+	idxs := make([]int, len(items))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rs, err := parallelMap(idxs, func(i int) (R, error) {
+		sys, ferr := parent.Fork()
+		if ferr != nil {
 			var zero R
-			return zero, err
+			return zero, ferr
 		}
-		r, err := fn(sys, it)
+		r, ferr := fn(sys, items[i])
+		if pep != nil {
+			deltas[i] = sys.EnergyProfile().DeltaFrom(pep)
+		}
 		sys.Release()
-		return r, err
+		return r, ferr
 	})
+	if pep != nil && err == nil {
+		mergeEprofDeltas(pep, deltas)
+	}
+	return rs, err
 }

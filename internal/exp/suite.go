@@ -300,6 +300,9 @@ func RunLive(id string, o Options, csv bool) ([]byte, error) {
 	if o.traceExp == "" && activeSpanTrace.Load() != nil {
 		o.traceExp = id
 	}
+	if o.eprofExp == "" && activeEnergyProfile.Load() != nil {
+		o.eprofExp = id
+	}
 	slotEnd := wallSpan("slot", id)
 	var buf bytes.Buffer
 	err := d.Run(o, &buf, csv)
@@ -322,6 +325,9 @@ func runOne(id string, o Options, csv bool, cache Cache) SuiteResult {
 		// Mark the options so newSystem registers this experiment's
 		// platforms — and so the cache key differs from untraced runs.
 		o.traceExp = id
+	}
+	if activeEnergyProfile.Load() != nil {
+		o.eprofExp = id
 	}
 	start := time.Now()
 	if cache != nil {

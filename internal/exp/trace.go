@@ -135,6 +135,12 @@ func (o Options) newSystem(cfg core.Config) (*core.System, error) {
 			st.register(o.traceExp, sys.EnableTrace(st.cap))
 		}
 	}
+	if o.eprofExp != "" {
+		if ep := activeEnergyProfile.Load(); ep != nil {
+			root, set := ep.register(o.eprofExp)
+			set(sys.EnableEnergyProfile(root))
+		}
+	}
 	return sys, nil
 }
 

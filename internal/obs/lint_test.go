@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusConformance is the exposition-format audit: feed a
+// registry exercising every metric kind through WritePrometheus and
+// lint the result as a strict scraper would.
+func TestWritePrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("audit_events_total", "events seen").Add(7)
+	r.Gauge("audit_depth", "current depth").Set(-2)
+	h := r.Histogram("audit_wait_ns", "queue wait", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	vec := r.CounterVec("audit_runs_total", "runs by id", "id")
+	vec.With("tab3").Add(2)
+	vec.With("fig2").Inc()
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintPrometheus(buf.String()); len(problems) > 0 {
+		t.Fatalf("WritePrometheus output fails conformance lint:\n  %s\nfull output:\n%s",
+			strings.Join(problems, "\n  "), buf.String())
+	}
+	// Spot-check the specific guarantees the satellite names: terminal
+	// +Inf bucket and _sum/_count series.
+	out := buf.String()
+	for _, want := range []string{
+		`audit_wait_ns_bucket{le="+Inf"} 4`,
+		"audit_wait_ns_sum 5555",
+		"audit_wait_ns_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDefaultRegistryConformance lints the real process-wide registry —
+// the exact bytes hswsimd serves on /metrics.
+func TestDefaultRegistryConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintPrometheus(buf.String()); len(problems) > 0 {
+		t.Fatalf("default registry output fails conformance lint:\n  %s",
+			strings.Join(problems, "\n  "))
+	}
+}
+
+// TestLintCatchesMalformations proves the linter actually rejects the
+// failure modes it claims to check — a lint that passes everything
+// would make the conformance test vacuous.
+func TestLintCatchesMalformations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring expected in some problem
+	}{
+		{"no TYPE", "orphan_total 3\n", "no preceding TYPE"},
+		{"bad name", "# TYPE 9bad counter\n9bad 1\n", "invalid metric name"},
+		{"bad value", "# TYPE x counter\nx notanumber\n", "not a number"},
+		{"duplicate series", "# TYPE x counter\nx 1\nx 2\n", "duplicate series"},
+		{"unknown type", "# TYPE x flurble\nx 1\n", "unknown type"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n", `le="+Inf"`},
+		{"decreasing cumulative", "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "decreased"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n", "missing _sum"},
+		{"missing count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n", "missing _count"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 3\n", "+Inf bucket"},
+	}
+	for _, tc := range cases {
+		problems := LintPrometheus(tc.text)
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint did not report %q (got %v)", tc.name, tc.want, problems)
+		}
+	}
+	if problems := LintPrometheus("# TYPE ok counter\n# HELP ok fine\nok 1\n"); len(problems) != 0 {
+		t.Errorf("clean input reported problems: %v", problems)
+	}
+}

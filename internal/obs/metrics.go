@@ -102,6 +102,14 @@ var (
 	HarnessSpans = std.Counter("harness_spans_total",
 		"wall-clock harness spans recorded (experiments, sweep points, scheduler slots)")
 
+	// Energy profiler (internal/eprof): attribution volume and fork-delta
+	// merges. Segment counts flush at run boundaries like the power
+	// integrator's (the Apply hot path keeps a plain field).
+	EprofSegments = std.Counter("eprof_segments_attributed_total",
+		"integration segments attributed into an energy profile")
+	EprofMerges = std.Counter("eprof_point_merges_total",
+		"forked sweep-point profile deltas merged back into a parent collector")
+
 	// Serving layer (cmd/hswsimd): request volume by endpoint, the
 	// coalescing and load-shedding outcomes, and live-run latency. The
 	// failure counter is part of the zero-on-clean-run contract below.
@@ -123,6 +131,10 @@ var (
 			10_000_000_000, 60_000_000_000})
 	ServerFailures = std.Counter("server_failures_total",
 		"run requests that failed with an internal error (HTTP 500)")
+	ServerStreamSamples = std.Counter("server_stream_samples_total",
+		"metric snapshots appended to the server's time-series ring")
+	ServerStreamClients = std.Gauge("server_stream_clients",
+		"SSE clients currently attached to /v1/stream")
 
 	// Silent-failure counters: zero on a clean run, nonzero when a
 	// previously invisible degradation happened (surfaced by -report).

@@ -27,6 +27,18 @@ type Manifest struct {
 	// Harness summarizes the wall-clock harness spans by category
 	// (experiment / sweep point / scheduler slot occupancy).
 	Harness []HarnessCat `json:"harness,omitempty"`
+	// Profile summarizes a -eprof run's captured energy profile. Its
+	// EnergyNJ is an exact integer invariant: the folded export's value
+	// column sums to precisely this number (the CI gate checks it).
+	Profile *ProfileInfo `json:"profile,omitempty"`
+}
+
+// ProfileInfo is the captured energy profile's volume and totals.
+type ProfileInfo struct {
+	Stacks     int   `json:"stacks"`
+	EnergyNJ   int64 `json:"energy_nj"`
+	VTimeNS    int64 `json:"vtime_ns"`
+	DurationNS int64 `json:"duration_ns"`
 }
 
 // TraceInfo is one captured trace collector's volume and drop counts.
@@ -98,6 +110,11 @@ func (m *Manifest) WriteSummary(w io.Writer) {
 			fmt.Fprintf(w, "  %-16s %6d spans (%d dropped, %d open)  %6d events (%d dropped)\n",
 				t.Label, t.Spans, t.SpanDrops, t.OpenSpans, t.Events, t.EventDrops)
 		}
+	}
+	if m.Profile != nil {
+		fmt.Fprintf(w, "energy profile: %d stacks, %.3f J, %.3f s virtual\n",
+			m.Profile.Stacks, float64(m.Profile.EnergyNJ)/1e9,
+			float64(m.Profile.DurationNS)/1e9)
 	}
 	if len(m.Harness) > 0 {
 		fmt.Fprintln(w, "harness spans:")

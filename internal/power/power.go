@@ -131,7 +131,30 @@ type ComputeMemo struct {
 	// the c-state multiplier (1 for C0/C1, 0.3 for C3, 0 for C6).
 	leakBase  []float64
 	leakScale []float64
+	// dyn[i] is core i's dynamic power contribution (0 unless C0) — the
+	// exact addend folded into coresDynamic, kept per core so the energy
+	// profiler can attribute it without re-deriving the operating point.
+	dyn []float64
 }
+
+// Dyn returns core i's memoized dynamic power in watts.
+func (m *ComputeMemo) Dyn(i int) float64 { return m.dyn[i] }
+
+// LeakBase returns core i's memoized leakage at temperature factor 1.
+func (m *ComputeMemo) LeakBase(i int) float64 { return m.leakBase[i] }
+
+// LeakScale returns core i's memoized c-state leakage multiplier
+// (1 for C0/C1, 0.3 for C3, 0 for C6).
+func (m *ComputeMemo) LeakScale(i int) float64 { return m.leakScale[i] }
+
+// Uncore returns the memoized uncore power in watts.
+func (m *ComputeMemo) Uncore() float64 { return m.uncore }
+
+// Static returns the memoized package static power in watts.
+func (m *ComputeMemo) Static() float64 { return m.static }
+
+// NumCores returns the number of per-core entries in the memo.
+func (m *ComputeMemo) NumCores() int { return len(m.leakBase) }
 
 // tempFactor returns the leakage temperature multiplier at the present
 // die temperature.
@@ -142,6 +165,11 @@ func (p *PackageModel) tempFactor() float64 {
 	}
 	return tf
 }
+
+// TempFactor exposes the leakage temperature multiplier so the energy
+// profiler can re-scale memoized leakage bases with exactly the
+// arithmetic Compute and Replay use.
+func (p *PackageModel) TempFactor() float64 { return p.tempFactor() }
 
 // Compute returns the package power breakdown for the given core states
 // and uncore operating point at the current die temperature.
@@ -159,16 +187,21 @@ func (p *PackageModel) ComputeMemoized(memo *ComputeMemo, cores []CoreState, unc
 	if cap(memo.leakBase) < len(cores) {
 		memo.leakBase = make([]float64, len(cores))
 		memo.leakScale = make([]float64, len(cores))
+		memo.dyn = make([]float64, len(cores))
 	}
 	memo.leakBase = memo.leakBase[:len(cores)]
 	memo.leakScale = memo.leakScale[:len(cores)]
+	memo.dyn = memo.dyn[:len(cores)]
 	memo.coresDynamic = 0
 	for i, c := range cores {
 		base, scale := 0.0, 0.0
+		memo.dyn[i] = 0
 		switch c.CState {
 		case cstate.C0:
-			b.CoresDynamic += p.PM.CeffCore * p.CeffScale * p.effectiveActivity(c) *
+			d := p.PM.CeffCore * p.CeffScale * p.effectiveActivity(c) *
 				c.Volts * c.Volts * c.FreqGHz
+			b.CoresDynamic += d
+			memo.dyn[i] = d
 			base, scale = p.leakBase(c.Volts), 1
 			b.Leakage += base * tempFactor
 		case cstate.C1:

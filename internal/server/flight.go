@@ -16,6 +16,11 @@ type runResult struct {
 	cached bool
 	code   int    // HTTP status; http.StatusOK on success
 	errMsg string // body for non-200 results
+	// Access-log annotations, filled by the leader: how long the
+	// request waited in the admission queue and how long the live run
+	// took (both zero for cache hits and rejections).
+	queueNS int64
+	runNS   int64
 }
 
 // flightGroup coalesces concurrent identical requests (singleflight):

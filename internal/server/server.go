@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -72,6 +73,15 @@ type Config struct {
 	ManifestPath string
 	// Log receives request-level notes (nil = log.Default()).
 	Log *log.Logger
+	// AccessLog, when set, receives one structured line per request
+	// (request id, tuple key, outcome, queue wait, run wall time). Nil
+	// disables access logging.
+	AccessLog io.Writer
+	// SampleInterval is the metrics time-series sampling period behind
+	// GET /v1/stream (0 = 1s).
+	SampleInterval time.Duration
+	// StreamCapacity bounds the time-series ring (0 = 256 samples).
+	StreamCapacity int
 
 	// runLive executes one experiment on a held slot (test seam;
 	// nil = exp.RunLive).
@@ -99,6 +109,21 @@ type Server struct {
 	// key themselves against — another request's trace.
 	traceMu sync.RWMutex
 	started time.Time
+
+	// series is the sampled metrics time-series GET /v1/stream serves;
+	// a background sampler appends registry snapshots every
+	// SampleInterval until drain.
+	series *obs.Series
+	// drainCh closes when StartDrain is first called — the broadcast
+	// that unblocks long-lived stream handlers and stops the sampler.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// Request-id generation: a per-process base (start time) plus a
+	// sequence number, so ids are unique within a serving period and
+	// sortable within a log.
+	ridBase  string
+	reqSeq   atomic.Int64
+	accessMu sync.Mutex
 }
 
 // New builds a Server from cfg.
@@ -121,23 +146,42 @@ func New(cfg Config) *Server {
 	if lg == nil {
 		lg = log.Default()
 	}
+	interval := cfg.SampleInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	streamCap := cfg.StreamCapacity
+	if streamCap <= 0 {
+		streamCap = 256
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    pool,
 		queue:   slots.NewQueue(pool, depth),
 		log:     lg,
 		started: time.Now(),
+		series:  obs.NewSeries(streamCap),
+		drainCh: make(chan struct{}),
+		ridBase: fmt.Sprintf("%08x", uint32(time.Now().UnixNano())),
 	}
+	// Prime the series so a stream client connecting immediately after
+	// startup sees a sample without waiting out the first interval.
+	s.series.Add(obs.Snapshot())
+	obs.ServerStreamSamples.Inc()
+	go s.sampler(interval)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// request-id + access-log middleware.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // runRequest is the POST /v1/run body. Zero Scale and Seed take the
 // CLI defaults (1.0, 0x5eed) so a minimal request names the same tuple
@@ -212,18 +256,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := expcache.TupleKey(req.ID, o, req.CSV)
+	info := infoFrom(r.Context())
+	info.key = key
 	res, leader, err := s.flights.do(r.Context(), key, func() runResult {
 		return s.execute(r.Context(), req.ID, o, req.CSV, key)
 	})
 	if err != nil {
 		// This follower's client went away while the leader ran; the
 		// flight itself continues for everyone else.
+		info.outcome = "cancelled"
 		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
 		return
 	}
 	if !leader {
 		obs.ServerCoalesced.Inc()
 	}
+	info.annotate(res, leader)
 	if res.code != http.StatusOK {
 		http.Error(w, res.errMsg, res.code)
 		return
@@ -254,6 +302,7 @@ func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool
 		obs.ServerDrainRejects.Inc()
 		return runResult{code: http.StatusServiceUnavailable, errMsg: "server draining"}
 	}
+	qStart := time.Now()
 	if err := s.queue.Acquire(ctx); err != nil {
 		if errors.Is(err, slots.ErrSaturated) {
 			obs.ServerShed.Inc()
@@ -262,6 +311,7 @@ func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool
 		return runResult{code: http.StatusServiceUnavailable, errMsg: "cancelled while queued for a compute slot"}
 	}
 	defer s.pool.Release()
+	queueNS := time.Since(qStart).Nanoseconds()
 
 	obs.ServerInflight.Add(1)
 	defer obs.ServerInflight.Add(-1)
@@ -269,11 +319,12 @@ func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool
 	s.traceMu.RLock()
 	out, err := s.cfg.runLive(id, o, csv)
 	s.traceMu.RUnlock()
-	obs.ServerRunWall.Observe(time.Since(start).Nanoseconds())
+	runNS := time.Since(start).Nanoseconds()
+	obs.ServerRunWall.Observe(runNS)
 	if err != nil {
 		obs.ServerFailures.Inc()
 		s.log.Printf("hswsimd: run %s failed: %v", id, err)
-		return runResult{code: http.StatusInternalServerError, errMsg: err.Error()}
+		return runResult{code: http.StatusInternalServerError, errMsg: err.Error(), queueNS: queueNS, runNS: runNS}
 	}
 	if s.cfg.Cache != nil {
 		if perr := s.cfg.Cache.Put(id, o, csv, out); perr != nil {
@@ -281,7 +332,7 @@ func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool
 			s.log.Printf("hswsimd: cache put %s failed: %v", id, perr)
 		}
 	}
-	return runResult{body: out, code: http.StatusOK}
+	return runResult{body: out, code: http.StatusOK, queueNS: queueNS, runNS: runNS}
 }
 
 // tracedRun serves ?trace=chrome|timeline: a forced-live run under the
@@ -292,16 +343,23 @@ func (s *Server) execute(ctx context.Context, id string, o exp.Options, csv bool
 // their tuple is marked (exp options carry the traced experiment), and
 // the capture is only valid for a run that was actually lived through.
 func (s *Server) tracedRun(w http.ResponseWriter, r *http.Request, req runRequest, o exp.Options, mode string) {
+	info := infoFrom(r.Context())
+	info.key = expcache.TupleKey(req.ID, o, req.CSV)
+	info.outcome = "traced"
+	qStart := time.Now()
 	if err := s.queue.Acquire(r.Context()); err != nil {
 		if errors.Is(err, slots.ErrSaturated) {
 			obs.ServerShed.Inc()
+			info.outcome = "shed"
 			http.Error(w, "admission queue full; retry with backoff", http.StatusTooManyRequests)
 			return
 		}
+		info.outcome = "cancelled"
 		http.Error(w, "cancelled while queued for a compute slot", http.StatusServiceUnavailable)
 		return
 	}
 	defer s.pool.Release()
+	info.queueNS = time.Since(qStart).Nanoseconds()
 
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
@@ -311,7 +369,8 @@ func (s *Server) tracedRun(w http.ResponseWriter, r *http.Request, req runReques
 	obs.ServerInflight.Add(1)
 	start := time.Now()
 	_, err := s.cfg.runLive(req.ID, o, req.CSV)
-	obs.ServerRunWall.Observe(time.Since(start).Nanoseconds())
+	info.runNS = time.Since(start).Nanoseconds()
+	obs.ServerRunWall.Observe(info.runNS)
 	obs.ServerInflight.Add(-1)
 	if err != nil {
 		obs.ServerFailures.Inc()
@@ -371,8 +430,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StartDrain stops admission: /healthz flips to 503 (load balancers
 // stop routing here) and new run requests are rejected. In-flight runs
-// continue; call Drain to wait for them.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// continue; call Drain to wait for them. The drain broadcast also stops
+// the metrics sampler and disconnects /v1/stream clients, so SSE
+// connections never hold up http.Server.Shutdown.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports whether StartDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
